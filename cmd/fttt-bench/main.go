@@ -1,0 +1,725 @@
+// Command fttt-bench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index) and
+// prints the same rows/series the paper reports. Absolute numbers come
+// from the simulated substrate, so compare shapes, not digits; the
+// expected shapes are listed in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fttt-bench                 # everything at default scale (minutes)
+//	fttt-bench -quick          # reduced scale smoke run (seconds)
+//	fttt-bench -only fig11bc   # one experiment
+//	fttt-bench -csv out/       # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fttt/internal/experiments"
+	"fttt/internal/geom"
+	"fttt/internal/svg"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced-scale smoke run")
+		trials = flag.Int("trials", 0, "override trials per sweep point")
+		dur    = flag.Float64("duration", 0, "override tracking duration (s)")
+		seed   = flag.Uint64("seed", 1, "root random seed")
+		only   = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility)")
+		csvDir = flag.String("csv", "", "directory to write CSV series into")
+		svgDir = flag.String("svg", "", "directory to render Fig. 10/13 track SVGs into")
+	)
+	flag.Parse()
+
+	p := experiments.Default()
+	if *quick {
+		p = experiments.Quick()
+	}
+	if *trials > 0 {
+		p.Trials = *trials
+	}
+	if *dur > 0 {
+		p.Duration = *dur
+	}
+	p.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	printTable1(p)
+	r := &runner{p: p, csvDir: *csvDir, svgDir: *svgDir}
+	if sel("fig10") {
+		r.fig10()
+	}
+	if sel("fig11a") {
+		r.fig11a()
+	}
+	if sel("fig11bc") {
+		r.fig11bc()
+	}
+	if sel("fig12a") {
+		r.fig12a()
+	}
+	if sel("fig12b") {
+		r.fig12b()
+	}
+	if sel("fig12cd") {
+		r.fig12cd()
+	}
+	if sel("fig13") {
+		r.fig13()
+	}
+	if sel("sampling") {
+		r.samplingTimes()
+	}
+	if sel("scaling") {
+		r.errorScaling()
+	}
+	if sel("matchcost") {
+		r.matchCost()
+	}
+	if sel("ablation") {
+		r.ablation()
+	}
+	if sel("gridres") {
+		r.gridRes()
+	}
+	if sel("methods") {
+		r.methods()
+	}
+	if sel("smoothing") {
+		r.smoothing()
+	}
+	if sel("lifetime") {
+		r.lifetime()
+	}
+	if sel("syncacc") {
+		r.syncAccuracy()
+	}
+	if sel("estimator") {
+		r.estimator()
+	}
+	if sel("doi") {
+		r.doi()
+	}
+	if sel("dutycycle") {
+		r.dutyCycle()
+	}
+	if sel("faces") {
+		r.faces()
+	}
+	if sel("coverage") {
+		r.coverage()
+	}
+	if sel("mac") {
+		r.mac()
+	}
+	if sel("mobility") {
+		r.mobility()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fttt-bench:", err)
+	os.Exit(1)
+}
+
+func printTable1(p experiments.Params) {
+	fmt.Println("== Table 1: system parameters and settings ==")
+	fmt.Printf("  field size                  %gx%g m²\n", p.Field.Width(), p.Field.Height())
+	fmt.Printf("  noise model                 β=%g, σ_X=%g (fast fraction %g)\n",
+		p.Model.Beta, p.Model.SigmaX, p.Model.FastFraction)
+	fmt.Printf("  sensing range R             %g m\n", p.Range)
+	fmt.Printf("  sensing resolution ε        %g dBm (swept 0.5–3 in fig12a)\n", p.Epsilon)
+	fmt.Printf("  sampling rate λ             %g Hz\n", p.SampleRate)
+	fmt.Printf("  target velocity             %g–%g m/s\n", p.VMin, p.VMax)
+	fmt.Printf("  sampling times k            %d (swept 3–9 in fig12b)\n", p.K)
+	fmt.Printf("  run duration / trials       %gs × %d\n", p.Duration, p.Trials)
+	fmt.Println()
+}
+
+type runner struct {
+	p      experiments.Params
+	csvDir string
+	svgDir string
+}
+
+// renderTrackSVG writes one Fig. 10/13-style panel when -svg is set.
+func (r *runner) renderTrackSVG(name string, nodes []geom.Point, s experiments.TrackedSeries) {
+	if r.svgDir == "" {
+		return
+	}
+	f, err := os.Create(r.svgDir + string(os.PathSeparator) + name)
+	if err != nil {
+		fatal(err)
+	}
+	err = svg.RenderTrack(f, r.p.Field, nodes, s.True, s.Estimates)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func (r *runner) fig10() {
+	res, err := experiments.Fig10(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 10: tracking example, estimated points (PM vs FTTT) ==")
+	for _, s := range []experiments.TrackedSeries{res.GridPM, res.GridFTTT, res.RandomPM, res.RandomFTTT} {
+		kind := "grid"
+		if &s.True[0] == &res.RandomPM.True[0] || &s.True[0] == &res.RandomFTTT.True[0] {
+			kind = "random"
+		}
+		fmt.Printf("  %-7s %-9v mean=%.2fm stddev=%.2fm max=%.2fm\n",
+			kind, s.Method, s.Summary.Mean, s.Summary.StdDev, s.Summary.Max)
+	}
+	r.writeSeriesCSV("fig10_grid_pm.csv", res.GridPM)
+	r.writeSeriesCSV("fig10_grid_fttt.csv", res.GridFTTT)
+	r.writeSeriesCSV("fig10_random_pm.csv", res.RandomPM)
+	r.writeSeriesCSV("fig10_random_fttt.csv", res.RandomFTTT)
+	r.renderTrackSVG("fig10a_grid_pm.svg", res.GridNodes, res.GridPM)
+	r.renderTrackSVG("fig10b_grid_fttt.svg", res.GridNodes, res.GridFTTT)
+	r.renderTrackSVG("fig10c_random_pm.svg", res.RandomNodes, res.RandomPM)
+	r.renderTrackSVG("fig10d_random_fttt.svg", res.RandomNodes, res.RandomFTTT)
+	fmt.Println()
+}
+
+func (r *runner) fig11a() {
+	res, err := experiments.Fig11a(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 11(a): dynamic tracking error over time (n=10, k=5, ε=1) ==")
+	methods := []experiments.Method{experiments.FTTTBasic, experiments.PM, experiments.DirectMLE}
+	fmt.Printf("  %-8s", "t(s)")
+	for _, m := range methods {
+		fmt.Printf("%12v", m)
+	}
+	fmt.Println()
+	step := len(res.Times) / 12
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(res.Times); i += step {
+		fmt.Printf("  %-8.1f", res.Times[i])
+		for _, m := range methods {
+			fmt.Printf("%12.2f", res.Series[m][i])
+		}
+		fmt.Println()
+	}
+	if r.csvDir != "" {
+		var b strings.Builder
+		b.WriteString("t,fttt,pm,directmle\n")
+		for i := range res.Times {
+			fmt.Fprintf(&b, "%.2f,%.3f,%.3f,%.3f\n", res.Times[i],
+				res.Series[experiments.FTTTBasic][i],
+				res.Series[experiments.PM][i],
+				res.Series[experiments.DirectMLE][i])
+		}
+		r.writeFile("fig11a.csv", b.String())
+	}
+	fmt.Println()
+}
+
+func (r *runner) fig11bc() {
+	rows, err := experiments.Fig11bc(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 11(b,c): mean error and stddev vs number of sensors (k=5, ε=1) ==")
+	methods := []experiments.Method{experiments.FTTTBasic, experiments.PM, experiments.DirectMLE}
+	fmt.Printf("  %-5s", "n")
+	for _, m := range methods {
+		fmt.Printf("%11v-mean", m)
+	}
+	for _, m := range methods {
+		fmt.Printf("%13v-sd", m)
+	}
+	fmt.Println()
+	var b strings.Builder
+	b.WriteString("n,fttt_mean,pm_mean,mle_mean,fttt_sd,pm_sd,mle_sd\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d", row.N)
+		for _, m := range methods {
+			fmt.Printf("%16.2f", row.Mean[m])
+		}
+		for _, m := range methods {
+			fmt.Printf("%15.2f", row.StdDev[m])
+		}
+		fmt.Println()
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", row.N,
+			row.Mean[experiments.FTTTBasic], row.Mean[experiments.PM], row.Mean[experiments.DirectMLE],
+			row.StdDev[experiments.FTTTBasic], row.StdDev[experiments.PM], row.StdDev[experiments.DirectMLE])
+	}
+	r.writeFile("fig11bc.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) fig12a() {
+	rows, err := experiments.Fig12a(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 12(a): FTTT mean error vs sensing resolution ε (k=5) ==")
+	ns := []int{10, 15, 20, 25}
+	fmt.Printf("  %-6s", "ε")
+	for _, n := range ns {
+		fmt.Printf("      n=%-5d", n)
+	}
+	fmt.Println()
+	var b strings.Builder
+	b.WriteString("epsilon,n10,n15,n20,n25\n")
+	for _, row := range rows {
+		fmt.Printf("  %-6.1f", row.Epsilon)
+		for _, n := range ns {
+			fmt.Printf("%12.2f", row.MeanErr[n])
+		}
+		fmt.Println()
+		fmt.Fprintf(&b, "%.1f,%.3f,%.3f,%.3f,%.3f\n", row.Epsilon,
+			row.MeanErr[10], row.MeanErr[15], row.MeanErr[20], row.MeanErr[25])
+	}
+	r.writeFile("fig12a.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) fig12b() {
+	rows, err := experiments.Fig12b(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 12(b): FTTT mean error vs n under sampling times k (ε=1) ==")
+	ks := []int{3, 5, 7, 9}
+	fmt.Printf("  %-5s", "n")
+	for _, k := range ks {
+		fmt.Printf("      k=%-4d", k)
+	}
+	fmt.Println()
+	var b strings.Builder
+	b.WriteString("n,k3,k5,k7,k9\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d", row.N)
+		for _, k := range ks {
+			fmt.Printf("%11.2f", row.MeanErr[k])
+		}
+		fmt.Println()
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f\n", row.N,
+			row.MeanErr[3], row.MeanErr[5], row.MeanErr[7], row.MeanErr[9])
+	}
+	r.writeFile("fig12b.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) fig12cd() {
+	rows, err := experiments.Fig12cd(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 12(c,d): basic vs extended FTTT, mean and stddev (k=5, ε=1) ==")
+	fmt.Printf("  %-5s%14s%14s%14s%14s\n", "n", "basic-mean", "ext-mean", "basic-sd", "ext-sd")
+	var b strings.Builder
+	b.WriteString("n,basic_mean,ext_mean,basic_sd,ext_sd\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%14.2f%14.2f%14.2f%14.2f\n", row.N,
+			row.Mean[experiments.FTTTBasic], row.Mean[experiments.FTTTExtended],
+			row.StdDev[experiments.FTTTBasic], row.StdDev[experiments.FTTTExtended])
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f\n", row.N,
+			row.Mean[experiments.FTTTBasic], row.Mean[experiments.FTTTExtended],
+			row.StdDev[experiments.FTTTBasic], row.StdDev[experiments.FTTTExtended])
+	}
+	r.writeFile("fig12cd.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) fig13() {
+	res, err := experiments.Fig13(r.p)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Fig. 13: outdoor system evaluation (9-node cross, ⊔ trace, WSN substrate) ==")
+	fmt.Printf("  rounds=%d heard=%d delivered=%d (%.1f%%) mean-hops=%.2f energy=%.2fmJ\n",
+		res.RoundsRun, res.ReportsHeard, res.ReportsArrived,
+		100*float64(res.ReportsArrived)/float64(max(res.ReportsHeard, 1)),
+		res.MeanHops, res.EnergySpent*1e3)
+	fmt.Printf("  basic FTTT:    mean=%.2fm stddev=%.2fm max=%.2fm\n",
+		res.Basic.Summary.Mean, res.Basic.Summary.StdDev, res.Basic.Summary.Max)
+	fmt.Printf("  extended FTTT: mean=%.2fm stddev=%.2fm max=%.2fm\n",
+		res.Extended.Summary.Mean, res.Extended.Summary.StdDev, res.Extended.Summary.Max)
+	r.writeSeriesCSV("fig13_basic.csv", res.Basic)
+	r.writeSeriesCSV("fig13_extended.csv", res.Extended)
+	r.renderTrackSVG("fig13c_basic.svg", res.Nodes, res.Basic)
+	r.renderTrackSVG("fig13d_extended.svg", res.Nodes, res.Extended)
+	fmt.Println()
+}
+
+func (r *runner) samplingTimes() {
+	rows, k99 := experiments.SamplingTimes(r.p, 6, []int{2, 3, 4, 5, 6, 8, 10, 12}, 50000)
+	fmt.Println("== Sec. 5.1: flip-capture probability, theory vs Monte Carlo (N=6 pairs) ==")
+	fmt.Printf("  %-5s%12s%12s\n", "k", "theory", "empirical")
+	var b strings.Builder
+	b.WriteString("k,theory,empirical\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%12.4f%12.4f\n", row.K, row.Theory, row.Empirical)
+		fmt.Fprintf(&b, "%d,%.5f,%.5f\n", row.K, row.Theory, row.Empirical)
+	}
+	fmt.Printf("  k for λ=0.99 with N=C(20,2)=190 pairs: %d (paper: 16)\n", k99At190(r.p))
+	_ = k99
+	r.writeFile("sampling_times.csv", b.String())
+	fmt.Println()
+}
+
+func k99At190(p experiments.Params) int {
+	_, k := experiments.SamplingTimes(p, 190, []int{2}, 1)
+	return k
+}
+
+func (r *runner) errorScaling() {
+	rows, err := experiments.ErrorScaling(r.p, []int{3, 5, 7, 9}, []int{15, 25, 35})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Sec. 5.2: error scaling vs k and n, with eq. 10 envelope ==")
+	fmt.Printf("  %-5s%-5s%12s%14s\n", "k", "n", "mean-err", "envelope")
+	var b strings.Builder
+	b.WriteString("k,n,mean,envelope\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%-5d%12.2f%14.4f\n", row.K, row.N, row.MeanErr, row.Envelope)
+		fmt.Fprintf(&b, "%d,%d,%.3f,%.5f\n", row.K, row.N, row.MeanErr, row.Envelope)
+	}
+	r.writeFile("error_scaling.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) matchCost() {
+	rows, err := experiments.MatchCost(r.p, []int{9, 16, 25, 36}, 100)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Sec. 4.4(2): matcher cost, exhaustive vs heuristic neighbor links ==")
+	fmt.Printf("  %-5s%8s%8s%14s%14s%12s\n", "n", "faces", "links", "exhaustive", "heuristic", "extra-err")
+	var b strings.Builder
+	b.WriteString("n,faces,links,exhaustive_per,heuristic_per,extra_err\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%8d%8d%14.1f%14.1f%12.2f\n",
+			row.N, row.Faces, row.Links, row.ExhaustivePer, row.HeuristicPer, row.HeuristicError)
+		fmt.Fprintf(&b, "%d,%d,%d,%.2f,%.2f,%.3f\n",
+			row.N, row.Faces, row.Links, row.ExhaustivePer, row.HeuristicPer, row.HeuristicError)
+	}
+	r.writeFile("match_cost.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) ablation() {
+	rows, err := experiments.BoundaryAblation(r.p, []int{15, 25})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== DESIGN.md §5 ablation: boundary constant choice ==")
+	fmt.Printf("  %-5s%12s%14s%12s\n", "n", "eq3-C", "calibrated", "certain")
+	var b strings.Builder
+	b.WriteString("n,eq3,calibrated,certain\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%12.2f%14.2f%12.2f\n", row.N, row.MeanEq3, row.MeanCalibrated, row.MeanCertain)
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f\n", row.N, row.MeanEq3, row.MeanCalibrated, row.MeanCertain)
+	}
+	r.writeFile("boundary_ablation.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) gridRes() {
+	rows, err := experiments.GridResolution(r.p, 15, []float64{0.5, 1, 2, 4, 8})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== DESIGN.md §5 ablation: approximate grid division resolution ==")
+	fmt.Printf("  %-8s%8s%12s\n", "cell(m)", "faces", "mean-err")
+	var b strings.Builder
+	b.WriteString("cell,faces,mean\n")
+	for _, row := range rows {
+		fmt.Printf("  %-8.1f%8d%12.2f\n", row.CellSize, row.Faces, row.MeanErr)
+		fmt.Fprintf(&b, "%.1f,%d,%.3f\n", row.CellSize, row.Faces, row.MeanErr)
+	}
+	r.writeFile("grid_resolution.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) methods() {
+	rows, err := experiments.MethodComparison(r.p, []int{10, 20, 30})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: all-methods comparison on shared samples ==")
+	fmt.Printf("  %-5s", "n")
+	for _, m := range experiments.AllMethods() {
+		fmt.Printf("%10v", m)
+	}
+	fmt.Println()
+	var b strings.Builder
+	b.WriteString("n")
+	for _, m := range experiments.AllMethods() {
+		fmt.Fprintf(&b, ",%v", m)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d", row.N)
+		fmt.Fprintf(&b, "%d", row.N)
+		for _, m := range experiments.AllMethods() {
+			fmt.Printf("%10.2f", row.Mean[m])
+			fmt.Fprintf(&b, ",%.3f", row.Mean[m])
+		}
+		fmt.Println()
+		b.WriteString("\n")
+	}
+	r.writeFile("method_comparison.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) smoothing() {
+	rows, err := experiments.Smoothing(r.p, []int{10, 20, 30})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: smoothing pipelines (mean / stddev) ==")
+	fmt.Printf("  %-5s%18s%18s%18s%18s\n", "n", "basic", "extended", "FTTT+Kalman", "FTTT+particle")
+	var b strings.Builder
+	b.WriteString("n,basic_mean,basic_sd,ext_mean,ext_sd,kf_mean,kf_sd,pf_mean,pf_sd\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%10.2f/%6.2f%11.2f/%6.2f%11.2f/%6.2f%11.2f/%6.2f\n", row.N,
+			row.Basic.Mean, row.Basic.StdDev,
+			row.Extended.Mean, row.Extended.StdDev,
+			row.Kalman.Mean, row.Kalman.StdDev,
+			row.Particle.Mean, row.Particle.StdDev)
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", row.N,
+			row.Basic.Mean, row.Basic.StdDev,
+			row.Extended.Mean, row.Extended.StdDev,
+			row.Kalman.Mean, row.Kalman.StdDev,
+			row.Particle.Mean, row.Particle.StdDev)
+	}
+	r.writeFile("smoothing.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) lifetime() {
+	rows, err := experiments.NetworkLifetime(r.p, 25, 5, 20000, 2e-3)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: network lifetime, flat greedy vs clustered aggregation ==")
+	fmt.Printf("  %-14s%16s%18s%18s%14s\n", "topology", "rounds→1st", "rounds→25%dead", "energy/round", "delivered")
+	var b strings.Builder
+	b.WriteString("topology,rounds_first,rounds_quarter,energy_per_round,delivered_frac\n")
+	for _, row := range rows {
+		fmt.Printf("  %-14s%16d%18d%16.2eJ%13.1f%%\n",
+			row.Topology, row.RoundsToFirst, row.RoundsToQuarter,
+			row.EnergyPerRound, 100*row.DeliveredFrac)
+		fmt.Fprintf(&b, "%s,%d,%d,%.4e,%.4f\n",
+			row.Topology, row.RoundsToFirst, row.RoundsToQuarter,
+			row.EnergyPerRound, row.DeliveredFrac)
+	}
+	r.writeFile("lifetime.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) syncAccuracy() {
+	rows, err := experiments.SyncAccuracy(r.p, []float64{10, 30, 60, 120, 300})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: clock sync residuals vs beacon period ==")
+	fmt.Printf("  %-12s%14s%18s\n", "period(s)", "max offset", "max pos error")
+	var b strings.Builder
+	b.WriteString("period,max_offset,max_pos_error\n")
+	for _, row := range rows {
+		fmt.Printf("  %-12.0f%12.2fms%16.3fm\n",
+			row.SyncPeriod, row.MaxOffset*1e3, row.MaxPosError)
+		fmt.Fprintf(&b, "%.0f,%.6f,%.4f\n", row.SyncPeriod, row.MaxOffset, row.MaxPosError)
+	}
+	r.writeFile("sync_accuracy.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) estimator() {
+	rows, err := experiments.EstimatorAblation(r.p, 20, []int{1, 3, 5, 10, 20})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== DESIGN.md §5 ablation: argmax vs similarity-weighted top-M estimator ==")
+	fmt.Printf("  %-5s%12s%12s\n", "M", "mean-err", "stddev")
+	var b strings.Builder
+	b.WriteString("m,mean,sd\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%12.2f%12.2f\n", row.M, row.MeanErr, row.StdDev)
+		fmt.Fprintf(&b, "%d,%.3f,%.3f\n", row.M, row.MeanErr, row.StdDev)
+	}
+	r.writeFile("estimator_ablation.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) doi() {
+	rows, err := experiments.IrregularityRobustness(r.p, 20, []float64{0, 0.01, 0.02, 0.05, 0.1})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: sensing-irregularity (DOI) robustness ==")
+	fmt.Printf("  %-8s%12s%14s\n", "DOI", "FTTT", "DirectMLE")
+	var b strings.Builder
+	b.WriteString("doi,fttt,mle\n")
+	for _, row := range rows {
+		fmt.Printf("  %-8.3f%12.2f%14.2f\n", row.DOI, row.FTTTMean, row.MLEMean)
+		fmt.Fprintf(&b, "%.3f,%.3f,%.3f\n", row.DOI, row.FTTTMean, row.MLEMean)
+	}
+	r.writeFile("doi_robustness.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) dutyCycle() {
+	rows, err := experiments.DutyCycling(r.p, 25, []float64{30, 45, 60, 80})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: duty cycling (tracking-driven wake-up) ==")
+	fmt.Printf("  %-12s%12s%14s%12s\n", "wake radius", "mean-err", "energy", "awake")
+	var b strings.Builder
+	b.WriteString("radius,mean,energy,awake_frac\n")
+	for _, row := range rows {
+		label := fmt.Sprintf("%.0f m", row.WakeRadius)
+		if row.WakeRadius == 0 {
+			label = "always-on"
+		}
+		fmt.Printf("  %-12s%12.2f%12.2emJ%11.1f%%\n",
+			label, row.MeanErr, row.EnergyTotal*1e3, 100*row.AwakeFrac)
+		fmt.Fprintf(&b, "%.0f,%.3f,%.5e,%.4f\n",
+			row.WakeRadius, row.MeanErr, row.EnergyTotal, row.AwakeFrac)
+	}
+	r.writeFile("duty_cycle.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) faces() {
+	rows, err := experiments.FaceComplexity(r.p, []int{4, 6, 8, 10, 12})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Sec. 4.4: exact arrangement faces vs grid division vs O(n⁴) ==")
+	fmt.Printf("  %-5s%14s%12s%16s%12s\n", "n", "exact-faces", "grid-faces", "intersections", "n⁴")
+	var b strings.Builder
+	b.WriteString("n,exact,grid,intersections,n4\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%14d%12d%16d%12d\n",
+			row.N, row.ExactFaces, row.GridFaces, row.Intersections, row.N4)
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d\n",
+			row.N, row.ExactFaces, row.GridFaces, row.Intersections, row.N4)
+	}
+	r.writeFile("face_complexity.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) coverage() {
+	rows, err := experiments.CoverageVsError(r.p, []int{5, 10, 15, 20, 25, 30})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: sensing coverage vs tracking error (the Fig. 11(b) knee) ==")
+	fmt.Printf("  %-5s%12s%12s%12s%12s\n", "n", "≥1-cover", "≥3-cover", "mean-deg", "mean-err")
+	var b strings.Builder
+	b.WriteString("n,cov1,cov3,degree,mean\n")
+	for _, row := range rows {
+		fmt.Printf("  %-5d%11.1f%%%11.1f%%%12.2f%12.2f\n",
+			row.N, 100*row.Coverage1, 100*row.Coverage3, row.MeanDegree, row.MeanErr)
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.3f,%.3f\n",
+			row.N, row.Coverage1, row.Coverage3, row.MeanDegree, row.MeanErr)
+	}
+	r.writeFile("coverage.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) mac() {
+	rows, err := experiments.MACContention(r.p, 25, 5, 40, []int{0, 2, 4, 8, 16, 32})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: slotted-MAC contention, flat vs clustered TDMA delivery ==")
+	fmt.Printf("  %-8s%14s%16s\n", "slots", "flat", "clustered")
+	var b strings.Builder
+	b.WriteString("slots,flat,clustered\n")
+	for _, row := range rows {
+		label := fmt.Sprintf("%d", row.Slots)
+		if row.Slots == 0 {
+			label = "ideal"
+		}
+		fmt.Printf("  %-8s%13.1f%%%15.1f%%\n",
+			label, 100*row.FlatDelivered, 100*row.ClusteredDelivered)
+		fmt.Fprintf(&b, "%d,%.4f,%.4f\n", row.Slots, row.FlatDelivered, row.ClusteredDelivered)
+	}
+	r.writeFile("mac_contention.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) mobility() {
+	rows, err := experiments.MobilityRobustness(r.p, 20)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Extension: mobility-model robustness (n=20) ==")
+	fmt.Printf("  %-18s%12s%12s\n", "model", "FTTT", "PM")
+	var b strings.Builder
+	b.WriteString("model,fttt,pm\n")
+	for _, row := range rows {
+		fmt.Printf("  %-18s%12.2f%12.2f\n", row.Model, row.FTTTMean, row.PMMean)
+		fmt.Fprintf(&b, "%s,%.3f,%.3f\n", row.Model, row.FTTTMean, row.PMMean)
+	}
+	r.writeFile("mobility_robustness.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) writeSeriesCSV(name string, s experiments.TrackedSeries) {
+	if r.csvDir == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("t,true_x,true_y,est_x,est_y,err\n")
+	for i := range s.Times {
+		fmt.Fprintf(&b, "%.2f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			s.Times[i], s.True[i].X, s.True[i].Y, s.Estimates[i].X, s.Estimates[i].Y, s.Errors[i])
+	}
+	r.writeFile(name, b.String())
+}
+
+func (r *runner) writeFile(name, content string) {
+	if r.csvDir == "" {
+		return
+	}
+	path := r.csvDir + string(os.PathSeparator) + name
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+// Command fttt-sim runs one target-tracking simulation and reports the
+// error statistics: deploy sensors, generate a random-waypoint trace,
+// track it with the selected strategy, print per-run summaries.
+//
+// Usage:
+//
+//	fttt-sim -n 20 -k 5 -eps 1 -duration 60 -strategy fttt-ext -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fttt/internal/baseline"
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/stats"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 20, "number of sensor nodes")
+		layout    = flag.String("deploy", "random", "deployment: random | grid | cross")
+		k         = flag.Int("k", 5, "grouping sampling times")
+		eps       = flag.Float64("eps", 1, "sensing resolution ε (dBm)")
+		sigma     = flag.Float64("sigma", 6, "noise σ_X (dB)")
+		beta      = flag.Float64("beta", 4, "path-loss exponent β")
+		rng       = flag.Float64("range", 40, "sensing range R (m)")
+		size      = flag.Float64("field", 100, "square field edge (m)")
+		cell      = flag.Float64("cell", 1, "grid division cell size (m)")
+		duration  = flag.Float64("duration", 60, "tracking duration (s)")
+		locPeriod = flag.Float64("period", 0.5, "localization period (s)")
+		vmin      = flag.Float64("vmin", 1, "minimum target speed (m/s)")
+		vmax      = flag.Float64("vmax", 5, "maximum target speed (m/s)")
+		loss      = flag.Float64("loss", 0, "report loss probability")
+		strategy  = flag.String("strategy", "fttt", "strategy: fttt | fttt-ext | pm | mle")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		trials    = flag.Int("trials", 1, "independent repetitions (fresh deployment + trace per trial)")
+		verbose   = flag.Bool("v", false, "print per-point errors")
+	)
+	flag.Parse()
+
+	if *trials < 1 {
+		*trials = 1
+	}
+	var all []float64
+	for trial := 0; trial < *trials; trial++ {
+		errs, err := run(*n, *layout, *k, *eps, *sigma, *beta, *rng, *size, *cell,
+			*duration, *locPeriod, *vmin, *vmax, *loss, *strategy,
+			*seed+uint64(trial), *verbose && *trials == 1, *trials == 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-sim:", err)
+			os.Exit(1)
+		}
+		all = append(all, errs...)
+	}
+	if *trials > 1 {
+		s := stats.Summarize(all)
+		boot := randx.New(*seed).Split("bootstrap")
+		lo, hi := stats.BootstrapCI(all, 0.95, 2000, boot.Intn)
+		fmt.Printf("strategy=%s n=%d k=%d trials=%d localizations=%d\n",
+			*strategy, *n, *k, *trials, s.N)
+		fmt.Printf("error: mean=%.2fm (95%% CI %.2f–%.2f) stddev=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
+			s.Mean, lo, hi, s.StdDev, s.Median, s.P90, s.Max)
+	}
+}
+
+func run(n int, layout string, k int, eps, sigma, beta, rng, size, cell,
+	duration, locPeriod, vmin, vmax, loss float64, strategy string, seed uint64,
+	verbose, report bool) ([]float64, error) {
+
+	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(size, size))
+	root := randx.New(seed)
+	model := rf.Default()
+	model.SigmaX = sigma
+	model.Beta = beta
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+
+	var dep deploy.Deployment
+	switch layout {
+	case "random":
+		dep = deploy.Random(field, n, root.Split("deploy"))
+	case "grid":
+		dep = deploy.Grid(field, n)
+	case "cross":
+		dep = deploy.Cross(field, n, size*0.3)
+	default:
+		return nil, fmt.Errorf("unknown deployment %q", layout)
+	}
+
+	mob := mobility.RandomWaypoint(field, vmin, vmax, duration, root.Split("mobility"))
+	tps := mobility.Sample(mob, duration, 1/locPeriod)
+	sampler := &sampling.Sampler{
+		Model: model, Nodes: dep.Positions(),
+		Range: rng, ReportLoss: loss, Epsilon: eps,
+	}
+
+	groups := make([]*sampling.Group, len(tps))
+	g := root.Split("groups")
+	for i, tp := range tps {
+		groups[i] = sampler.Sample(tp.Pos, k, g.SplitN("loc", i))
+	}
+
+	var estimate func(i int) geom.Point
+	switch strategy {
+	case "fttt", "fttt-ext":
+		cfg := core.Config{
+			Field: field, Nodes: dep.Positions(), Model: model,
+			Epsilon: eps, SamplingTimes: k, Range: rng, CellSize: cell,
+		}
+		if strategy == "fttt-ext" {
+			cfg.Variant = core.Extended
+		}
+		tr, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if report {
+			fmt.Printf("division: %d faces, %d links, C=%.4f\n",
+				tr.Division().NumFaces(), tr.Division().NeighborLinkCount(), cfg.UncertaintyC())
+		}
+		estimate = func(i int) geom.Point { return tr.LocalizeGroup(groups[i]).Pos }
+	case "pm":
+		pm, err := baseline.NewPM(field, dep.Positions(), cell,
+			baseline.PMConfig{MaxVelocity: vmax, Period: locPeriod})
+		if err != nil {
+			return nil, err
+		}
+		estimate = func(i int) geom.Point { return pm.LocalizeGroup(groups[i]) }
+	case "mle":
+		d, err := baseline.NewDirectMLE(field, dep.Positions(), cell)
+		if err != nil {
+			return nil, err
+		}
+		estimate = func(i int) geom.Point { return d.LocalizeGroup(groups[i]) }
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	errs := make([]float64, len(tps))
+	for i := range tps {
+		est := estimate(i)
+		errs[i] = est.Dist(tps[i].Pos)
+		if verbose {
+			fmt.Printf("t=%6.2f  true=%v  est=%v  err=%.2f\n", tps[i].T, tps[i].Pos, est, errs[i])
+		}
+	}
+
+	if report {
+		s := stats.Summarize(errs)
+		fmt.Printf("strategy=%s n=%d k=%d eps=%.1f seed=%d localizations=%d\n",
+			strategy, n, k, eps, seed, s.N)
+		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
+			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
+	}
+	return errs, nil
+}

@@ -1,0 +1,62 @@
+// Convoy tracks two distinguishable targets simultaneously with a
+// MultiTracker sharing one preprocessed division: a lead vehicle crosses
+// the field and an escort follows a parallel path. Targets emit on
+// distinct frequencies (the outdoor system's piezo resonator generalised),
+// so sensors report per-target RSS and the two tracks never interfere.
+package main
+
+import (
+	"fmt"
+
+	"fttt"
+	"fttt/internal/stats"
+)
+
+func main() {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployRandom(field, 20, fttt.NewStream(5))
+
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+	multi, err := fttt.NewMulti(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shared division: %d faces, preprocessing done once for both targets\n",
+		multi.Division().NumFaces())
+
+	lead := fttt.Waypoints([]fttt.Point{fttt.Pt(5, 40), fttt.Pt(95, 45)}, 3)
+	escort := fttt.Waypoints([]fttt.Point{fttt.Pt(5, 25), fttt.Pt(95, 30)}, 3)
+
+	sampler := &fttt.Sampler{
+		Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon,
+	}
+	rng := fttt.NewStream(6)
+
+	var leadErr, escortErr, separation []float64
+	for i := 0; i <= 60; i++ {
+		t := float64(i) * 0.5
+		posLead, posEscort := lead.At(t), escort.At(t)
+
+		gl := sampler.Sample(posLead, cfg.SamplingTimes, rng.SplitN("lead", i))
+		ge := sampler.Sample(posEscort, cfg.SamplingTimes, rng.SplitN("escort", i))
+
+		el, err := multi.LocalizeGroup("lead", gl)
+		if err != nil {
+			panic(err)
+		}
+		ee, err := multi.LocalizeGroup("escort", ge)
+		if err != nil {
+			panic(err)
+		}
+		leadErr = append(leadErr, el.Pos.Dist(posLead))
+		escortErr = append(escortErr, ee.Pos.Dist(posEscort))
+		separation = append(separation, el.Pos.Dist(ee.Pos))
+	}
+
+	fmt.Printf("targets tracked: %v\n", multi.Targets())
+	fmt.Printf("lead:   mean error %.2f m\n", stats.Mean(leadErr))
+	fmt.Printf("escort: mean error %.2f m\n", stats.Mean(escortErr))
+	fmt.Printf("estimated convoy separation: mean %.1f m (true 15 m)\n",
+		stats.Mean(separation))
+}

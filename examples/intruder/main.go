@@ -1,0 +1,69 @@
+// Intruder is the perimeter-surveillance application the paper's
+// introduction motivates: sensors watch a protected zone in the middle of
+// the field; an intruder crosses the field, and the tracker raises an
+// alarm while the *estimated* position is inside the zone. The example
+// reports detection latency and dwell-time accuracy against ground truth.
+package main
+
+import (
+	"fmt"
+
+	"fttt"
+)
+
+func main() {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	zone := fttt.NewRect(fttt.Pt(35, 35), fttt.Pt(65, 65))
+	dep := fttt.DeployRandom(field, 24, fttt.NewStream(9))
+
+	cfg := fttt.DefaultConfig(dep)
+	cfg.Variant = fttt.Extended // smoother trajectory → cleaner alarms
+	cfg.CellSize = 2
+
+	// The intruder cuts diagonally through the zone at 2 m/s.
+	path := fttt.Waypoints([]fttt.Point{
+		fttt.Pt(5, 10), fttt.Pt(50, 50), fttt.Pt(95, 88),
+	}, 2)
+	trace, times := fttt.SampleTrace(path, 60, 2)
+
+	tracked, err := fttt.Track(cfg, trace, times, 3)
+	if err != nil {
+		panic(err)
+	}
+
+	var trueEnter, estEnter, trueExit, estExit float64 = -1, -1, -1, -1
+	trueDwell, estDwell := 0.0, 0.0
+	const dt = 0.5
+	for _, tp := range tracked {
+		inTrue := zone.Contains(tp.True)
+		inEst := zone.Contains(tp.Estimate.Pos)
+		if inTrue {
+			trueDwell += dt
+			if trueEnter < 0 {
+				trueEnter = tp.T
+			}
+			trueExit = tp.T
+		}
+		if inEst {
+			estDwell += dt
+			if estEnter < 0 {
+				estEnter = tp.T
+			}
+			estExit = tp.T
+		}
+	}
+
+	fmt.Printf("perimeter zone: x∈[35,65] y∈[35,65], %d sensors, extended FTTT\n", dep.N())
+	fmt.Printf("tracking error: mean %.2f m over %d localizations\n",
+		fttt.MeanError(tracked), len(tracked))
+	fmt.Printf("ground truth: intruder in zone t=%.1fs..%.1fs (dwell %.1fs)\n",
+		trueEnter, trueExit, trueDwell)
+	if estEnter < 0 {
+		fmt.Println("ALARM MISSED: estimated trace never entered the zone")
+		return
+	}
+	fmt.Printf("alarm:        raised        t=%.1fs..%.1fs (dwell %.1fs)\n",
+		estEnter, estExit, estDwell)
+	fmt.Printf("detection latency: %+.1f s, dwell error: %+.1f s\n",
+		estEnter-trueEnter, estDwell-trueDwell)
+}

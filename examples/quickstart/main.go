@@ -1,0 +1,73 @@
+// Quickstart: deploy 16 sensors on a grid, walk a random-waypoint target
+// through the field for 30 s, track it with FTTT, and print the error
+// summary plus a small ASCII plot of truth vs estimates.
+package main
+
+import (
+	"fmt"
+
+	"fttt"
+)
+
+func main() {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+
+	cfg := fttt.DefaultConfig(dep)
+	cfg.SamplingTimes = 5 // k: samples per grouping (Table 1)
+	cfg.Epsilon = 1       // ε: sensing resolution in dBm
+
+	mob := fttt.RandomWaypoint(field, 1, 5, 30, fttt.NewStream(42))
+	trace, times := fttt.SampleTrace(mob, 30, 2) // localize at 2 Hz
+
+	tracked, err := fttt.Track(cfg, trace, times, 7)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("tracked %d localizations with %d sensors\n", len(tracked), dep.N())
+	fmt.Printf("mean error: %.2f m\n", fttt.MeanError(tracked))
+	worst := tracked[0]
+	for _, tp := range tracked {
+		if tp.Error > worst.Error {
+			worst = tp
+		}
+	}
+	fmt.Printf("worst point: t=%.1fs true=%v est=%v err=%.2fm\n",
+		worst.T, worst.True, worst.Estimate.Pos, worst.Error)
+
+	// ASCII overview: '.' field, 'o' sensor, 'T' true trace, 'E' estimate,
+	// 'X' where they share a cell.
+	const W, H = 50, 25
+	grid := make([][]byte, H)
+	for r := range grid {
+		grid[r] = make([]byte, W)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	plot := func(p fttt.Point, ch byte) {
+		c := int(p.X / 100 * (W - 1))
+		r := int(p.Y / 100 * (H - 1))
+		cur := grid[H-1-r][c]
+		switch {
+		case cur == '.' || cur == 'o':
+			grid[H-1-r][c] = ch
+		case cur != ch && cur != 'o' && ch != 'o':
+			grid[H-1-r][c] = 'X'
+		}
+	}
+	for _, tp := range tracked {
+		plot(tp.True, 'T')
+	}
+	for _, tp := range tracked {
+		plot(tp.Estimate.Pos, 'E')
+	}
+	for _, nd := range dep.Nodes {
+		plot(nd.Pos, 'o')
+	}
+	fmt.Println("\nT=true trace  E=estimate  X=both  o=sensor")
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

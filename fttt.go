@@ -1,0 +1,201 @@
+// Package fttt is the public facade of the FTTT library: a
+// fault-tolerant target-tracking strategy for wireless sensor networks
+// based on unreliable (uncertain) pairwise sensing, reproducing Xie et
+// al., "Rethinking of the Uncertainty: A Fault-Tolerant Target-Tracking
+// Strategy Based on Unreliable Sensing in Wireless Sensor Networks"
+// (KSII TIIS 2012; workshop version at IEEE IPDPS/HPDIC 2012).
+//
+// # Overview
+//
+// RSS comparisons between a sensor pair flip when the target is near the
+// pair's uncertain area — the region bounded by two Apollonius circles
+// where noise makes the pair's order unreliable. FTTT turns that flip
+// into information: the monitor field is divided into faces, each with a
+// ternary signature vector over all node pairs (+1 / 0 / −1 for "nearer
+// the lower-ID node" / "uncertain" / "nearer the higher-ID node"); each
+// localization performs a grouping sampling of k rapid RSS samples,
+// derives the matching ternary sampling vector (0 when the observed
+// order flipped), and locates the target in the face with the most
+// similar signature. Missing reports degrade the vector gracefully
+// (fault tolerance), and the Extended variant replaces ternary values
+// with quantitative flip ratios for a smoother trajectory.
+//
+// # Quick start
+//
+//	dep := fttt.DeployGrid(fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100)), 16)
+//	cfg := fttt.DefaultConfig(dep)
+//	tr, err := fttt.New(cfg)
+//	if err != nil { ... }
+//	est := tr.Localize(fttt.Pt(42, 58), fttt.NewStream(1))
+//	fmt.Println(est.Pos)
+//
+// See examples/ for runnable scenarios, internal/experiments for the
+// paper's evaluation harness, and DESIGN.md for the system inventory.
+package fttt
+
+import (
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// Re-exported core types: the tracker and its configuration.
+type (
+	// Config parameterises a Tracker; see Table 1 of the paper for the
+	// evaluation settings (DefaultConfig applies them).
+	Config = core.Config
+	// Tracker is a ready-to-run FTTT instance.
+	Tracker = core.Tracker
+	// Variant selects Basic (ternary) or Extended (quantitative)
+	// sampling vectors.
+	Variant = core.Variant
+	// Estimate is the outcome of one localization.
+	Estimate = core.Estimate
+	// TrackedPoint pairs a true position with its estimate and error.
+	TrackedPoint = core.TrackedPoint
+)
+
+// Re-exported tracker variants.
+const (
+	Basic    = core.Basic
+	Extended = core.Extended
+)
+
+// Re-exported geometry types.
+type (
+	// Point is a location in the monitor field (metres).
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle, usually the monitor field.
+	Rect = geom.Rect
+)
+
+// Re-exported signal model and RNG types.
+type (
+	// Model is the log-distance path-loss signal model of eq. 1.
+	Model = rf.Model
+	// Stream is a deterministic random stream; all APIs taking one are
+	// reproducible given the same seed.
+	Stream = randx.Stream
+	// Deployment is an ordered sensor layout.
+	Deployment = deploy.Deployment
+	// Mobility yields the target position over time.
+	Mobility = mobility.Model
+)
+
+// Multi-target and sampling types.
+type (
+	// MultiTracker tracks several distinguishable targets over one
+	// shared field division.
+	MultiTracker = core.MultiTracker
+	// Sampler draws grouping samplings from the signal model — use it
+	// when feeding LocalizeGroup with externally collected samples.
+	Sampler = sampling.Sampler
+	// Group is one grouping sampling (the k×n RSS matrix of Def. 3).
+	Group = sampling.Group
+)
+
+// NewMulti preprocesses the shared division and returns a multi-target
+// tracker; targets are created lazily per ID.
+func NewMulti(cfg Config) (*MultiTracker, error) { return core.NewMulti(cfg) }
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewRect builds a rectangle from two opposite corners in any order.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// NewStream returns a deterministic random stream rooted at seed.
+func NewStream(seed uint64) *Stream { return randx.New(seed) }
+
+// DefaultModel returns the paper's Table 1 signal model (β=4, σ_X=6).
+func DefaultModel() Model { return rf.Default() }
+
+// DeployGrid places n sensors on a regular grid in the field.
+func DeployGrid(field Rect, n int) Deployment { return deploy.Grid(field, n) }
+
+// DeployRandom places n sensors uniformly at random.
+func DeployRandom(field Rect, n int, rng *Stream) Deployment {
+	return deploy.Random(field, n, rng)
+}
+
+// DeployCross places n sensors in the "+" layout of the paper's outdoor
+// system, with the given arm radius.
+func DeployCross(field Rect, n int, arm float64) Deployment {
+	return deploy.Cross(field, n, arm)
+}
+
+// RandomWaypoint returns the random waypoint mobility model used by the
+// paper's simulations: uniform destinations, uniform speed in
+// [vMin, vMax], precomputed for duration seconds.
+func RandomWaypoint(field Rect, vMin, vMax, duration float64, rng *Stream) Mobility {
+	return mobility.RandomWaypoint(field, vMin, vMax, duration, rng)
+}
+
+// Waypoints returns a constant-speed piecewise-linear mobility model.
+func Waypoints(pts []Point, speed float64) Mobility {
+	return mobility.Waypoints(pts, speed)
+}
+
+// SampleTrace evaluates a mobility model every 1/rate seconds over
+// [0, duration] and returns the positions with their timestamps.
+func SampleTrace(m Mobility, duration, rate float64) (pts []Point, times []float64) {
+	tps := mobility.Sample(m, duration, rate)
+	pts = make([]Point, len(tps))
+	times = make([]float64, len(tps))
+	for i, tp := range tps {
+		pts[i] = tp.Pos
+		times[i] = tp.T
+	}
+	return pts, times
+}
+
+// DefaultConfig returns a Config with the paper's Table 1 settings for
+// the given deployment: β=4, σ_X=6, ε=1 dBm, k=5 sampling times, R=40 m
+// sensing range, 1 m division cells.
+func DefaultConfig(dep Deployment) Config {
+	return Config{
+		Field:         dep.Field,
+		Nodes:         dep.Positions(),
+		Model:         rf.Default(),
+		Epsilon:       1,
+		SamplingTimes: 5,
+		Range:         40,
+		CellSize:      1,
+	}
+}
+
+// New preprocesses the field division and returns a Tracker.
+func New(cfg Config) (*Tracker, error) { return core.New(cfg) }
+
+// Track runs a whole trace through a fresh tracker and returns the
+// per-point estimates and errors. It is the one-call entry point used by
+// the quickstart example.
+func Track(cfg Config, trace []Point, times []float64, seed uint64) ([]TrackedPoint, error) {
+	tr, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Track(trace, times, randx.New(seed)), nil
+}
+
+// MeanError returns the mean tracking error of a tracked trace.
+func MeanError(pts []TrackedPoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.Error
+	}
+	return sum / float64(len(pts))
+}
+
+// RequiredSamplingTimes returns the minimum k so the probability of
+// capturing all flips among nPairs pairs exceeds lambda (Sec. 5.1).
+func RequiredSamplingTimes(nPairs int, lambda float64) int {
+	return core.RequiredSamplingTimes(nPairs, lambda)
+}

@@ -1,0 +1,141 @@
+package fttt_test
+
+import (
+	"math"
+	"testing"
+
+	"fttt"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2 // keep the test fast
+	tr, err := fttt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := tr.Localize(fttt.Pt(42, 58), fttt.NewStream(1))
+	if !field.Contains(est.Pos) {
+		t.Errorf("estimate %v outside field", est.Pos)
+	}
+	if est.Reported == 0 {
+		t.Error("no nodes reported")
+	}
+}
+
+func TestTrackOneCall(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployRandom(field, 12, fttt.NewStream(2))
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+	mob := fttt.RandomWaypoint(field, 1, 5, 10, fttt.NewStream(3))
+	trace, times := fttt.SampleTrace(mob, 10, 2)
+	pts, err := fttt.Track(cfg, trace, times, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(trace) {
+		t.Fatalf("tracked %d of %d points", len(pts), len(trace))
+	}
+	if me := fttt.MeanError(pts); math.IsNaN(me) || me <= 0 || me > 50 {
+		t.Errorf("mean error %v implausible", me)
+	}
+}
+
+func TestMeanErrorEmpty(t *testing.T) {
+	if got := fttt.MeanError(nil); got != 0 {
+		t.Errorf("MeanError(nil) = %v", got)
+	}
+}
+
+func TestDeployHelpers(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	if got := fttt.DeployGrid(field, 9).N(); got != 9 {
+		t.Errorf("grid N = %d", got)
+	}
+	if got := fttt.DeployCross(field, 9, 30).N(); got != 9 {
+		t.Errorf("cross N = %d", got)
+	}
+	if got := fttt.DeployRandom(field, 7, fttt.NewStream(5)).N(); got != 7 {
+		t.Errorf("random N = %d", got)
+	}
+}
+
+func TestVariantsExposed(t *testing.T) {
+	if fttt.Basic == fttt.Extended {
+		t.Error("variants must differ")
+	}
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	cfg := fttt.DefaultConfig(fttt.DeployGrid(field, 9))
+	cfg.CellSize = 4
+	cfg.Variant = fttt.Extended
+	if _, err := fttt.New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaypointsHelper(t *testing.T) {
+	mob := fttt.Waypoints([]fttt.Point{fttt.Pt(0, 0), fttt.Pt(10, 0)}, 2)
+	trace, times := fttt.SampleTrace(mob, 5, 1)
+	if len(trace) != 6 || len(times) != 6 {
+		t.Fatalf("trace lengths %d/%d", len(trace), len(times))
+	}
+	if trace[5] != fttt.Pt(10, 0) {
+		t.Errorf("end = %v", trace[5])
+	}
+}
+
+func TestRequiredSamplingTimesExposed(t *testing.T) {
+	if got := fttt.RequiredSamplingTimes(190, 0.99); got != 16 {
+		t.Errorf("RequiredSamplingTimes = %d, want 16 (paper Sec. 5.1)", got)
+	}
+}
+
+func TestDefaultModelTable1(t *testing.T) {
+	m := fttt.DefaultModel()
+	if m.Beta != 4 || m.SigmaX != 6 {
+		t.Errorf("DefaultModel β=%v σ=%v", m.Beta, m.SigmaX)
+	}
+}
+
+func TestMultiTrackerFacade(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	cfg := fttt.DefaultConfig(fttt.DeployGrid(field, 9))
+	cfg.CellSize = 4
+	multi, err := fttt.NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := &fttt.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range}
+	g := sampler.Sample(fttt.Pt(40, 60), cfg.SamplingTimes, fttt.NewStream(1))
+	est, err := multi.LocalizeGroup("t1", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !field.Contains(est.Pos) {
+		t.Errorf("estimate %v outside field", est.Pos)
+	}
+	if got := multi.Targets(); len(got) != 1 || got[0] != "t1" {
+		t.Errorf("Targets = %v", got)
+	}
+}
+
+func TestGroupFacadeVector(t *testing.T) {
+	g := &fttt.Group{
+		RSS:      [][]float64{{10, 5}, {11, 6}},
+		Reported: []bool{true, true},
+	}
+	v := g.Vector()
+	if v.Dim() != 1 {
+		t.Fatalf("dim = %d", v.Dim())
+	}
+}
+
+func TestTrackPropagatesConfigErrors(t *testing.T) {
+	cfg := fttt.Config{} // invalid
+	if _, err := fttt.Track(cfg, []fttt.Point{fttt.Pt(0, 0)}, nil, 1); err == nil {
+		t.Error("invalid config should error")
+	}
+}

@@ -1,0 +1,3 @@
+module fttt
+
+go 1.22

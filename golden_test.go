@@ -1,0 +1,41 @@
+package fttt_test
+
+import (
+	"math"
+	"testing"
+
+	"fttt"
+)
+
+// TestGoldenScenario pins the exact end-to-end behaviour of a fixed-seed
+// scenario: any change to the RNG splitting, the sampling pipeline, the
+// division, or the matcher shows up here as a numeric diff. Update the
+// constants deliberately when the change is intended, never to silence
+// the test.
+func TestGoldenScenario(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+
+	mob := fttt.Waypoints([]fttt.Point{fttt.Pt(20, 20), fttt.Pt(80, 60)}, 3)
+	trace, times := fttt.SampleTrace(mob, 20, 2)
+	tracked, err := fttt.Track(cfg, trace, times, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracked) != 41 {
+		t.Fatalf("tracked %d points, want 41", len(tracked))
+	}
+
+	const (
+		wantMean = 4.125775
+		tol      = 1e-4
+	)
+	got := fttt.MeanError(tracked)
+	if math.Abs(got-wantMean) > tol {
+		t.Errorf("golden mean error = %.6f, want %.6f ± %v\n"+
+			"(a deliberate behavioural change? update the constant)",
+			got, wantMean, tol)
+	}
+}

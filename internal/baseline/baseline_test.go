@@ -1,0 +1,214 @@
+package baseline
+
+import (
+	"testing"
+
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/stats"
+)
+
+var fieldRect = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+
+func sampler(n int, sigma float64) (*sampling.Sampler, []geom.Point) {
+	d := deploy.Grid(fieldRect, n)
+	m := rf.Default()
+	m.SigmaX = sigma
+	return &sampling.Sampler{Model: m, Nodes: d.Positions()}, d.Positions()
+}
+
+func TestDirectMLENoiselessAccuracy(t *testing.T) {
+	s, nodes := sampler(16, 0)
+	d, err := NewDirectMLE(fieldRect, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	var errs []float64
+	for trial := 0; trial < 30; trial++ {
+		pos := geom.Pt(rng.Uniform(15, 85), rng.Uniform(15, 85))
+		g := s.Sample(pos, 5, rng.SplitN("t", trial))
+		est := d.LocalizeGroup(g)
+		errs = append(errs, est.Dist(pos))
+	}
+	if mean := stats.Mean(errs); mean > 12 {
+		t.Errorf("noiseless Direct MLE mean error %v m too large", mean)
+	}
+}
+
+func TestDirectMLEEstimateInField(t *testing.T) {
+	s, nodes := sampler(9, 6)
+	d, err := NewDirectMLE(fieldRect, nodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(2)
+	for trial := 0; trial < 50; trial++ {
+		pos := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		g := s.Sample(pos, 5, rng.SplitN("t", trial))
+		if est := d.LocalizeGroup(g); !fieldRect.Contains(est) {
+			t.Fatalf("estimate %v outside field", est)
+		}
+	}
+}
+
+func TestDirectMLEHandlesFaults(t *testing.T) {
+	d0 := deploy.Grid(fieldRect, 9)
+	s := &sampling.Sampler{Model: rf.Default(), Nodes: d0.Positions(), ReportLoss: 0.5}
+	d, err := NewDirectMLE(fieldRect, d0.Positions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(3)
+	for trial := 0; trial < 30; trial++ {
+		g := s.Sample(geom.Pt(50, 50), 5, rng.SplitN("t", trial))
+		if est := d.LocalizeGroup(g); !fieldRect.Contains(est) {
+			t.Fatalf("estimate %v outside field with faults", est)
+		}
+	}
+}
+
+func TestDirectMLEAllSilent(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	d, _ := NewDirectMLE(fieldRect, nodes, 2)
+	g := &sampling.Group{
+		RSS:      [][]float64{{0, 0, 0, 0}},
+		Reported: []bool{false, false, false, false},
+	}
+	est := d.LocalizeGroup(g)
+	if !fieldRect.Contains(est) {
+		t.Errorf("all-silent estimate %v outside field", est)
+	}
+}
+
+func TestNewDirectMLEErrors(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	if _, err := NewDirectMLE(fieldRect, nodes[:1], 2); err == nil {
+		t.Error("single node should fail")
+	}
+	if _, err := NewDirectMLE(fieldRect, nodes, -1); err == nil {
+		t.Error("bad cell size should fail")
+	}
+}
+
+func TestNewPMValidation(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	if _, err := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 0, Period: 1}); err == nil {
+		t.Error("zero MaxVelocity should fail")
+	}
+	if _, err := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 0}); err == nil {
+		t.Error("zero Period should fail")
+	}
+	if _, err := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 1}); err != nil {
+		t.Errorf("valid PM rejected: %v", err)
+	}
+}
+
+func TestPMTracksNoiselessTrace(t *testing.T) {
+	s, nodes := sampler(16, 0)
+	pm, err := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mobility.Waypoints([]geom.Point{geom.Pt(20, 20), geom.Pt(80, 20), geom.Pt(80, 80)}, 3)
+	trace := mobility.Sample(m, 40, 2)
+	rng := randx.New(4)
+	var errs []float64
+	for i, tp := range trace {
+		g := s.Sample(tp.Pos, 5, rng.SplitN("t", i))
+		est := pm.LocalizeGroup(g)
+		errs = append(errs, est.Dist(tp.Pos))
+	}
+	if mean := stats.Mean(errs); mean > 12 {
+		t.Errorf("noiseless PM mean error %v m too large", mean)
+	}
+}
+
+func TestPMVelocityConstraintLimitsJumps(t *testing.T) {
+	// Consecutive PM estimates cannot jump farther than the reach plus
+	// the restart case; verify typical steps are bounded when the filter
+	// has continuous paths available.
+	s, nodes := sampler(16, 3)
+	pm, err := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mobility.Waypoints([]geom.Point{geom.Pt(20, 50), geom.Pt(80, 50)}, 4)
+	trace := mobility.Sample(m, 15, 2)
+	rng := randx.New(5)
+	var prev geom.Point
+	jumps := 0
+	for i, tp := range trace {
+		g := s.Sample(tp.Pos, 5, rng.SplitN("t", i))
+		est := pm.LocalizeGroup(g)
+		if i > 0 && est.Dist(prev) > 5*0.5+2*pmSlack(pm)+1e-9 {
+			jumps++
+		}
+		prev = est
+	}
+	// Path restarts can jump, but they should be rare on an easy trace.
+	if jumps > len(trace)/3 {
+		t.Errorf("%d/%d steps exceeded the velocity reach", jumps, len(trace))
+	}
+}
+
+func pmSlack(p *PM) float64 { return p.slack }
+
+func TestPMReset(t *testing.T) {
+	s, nodes := sampler(9, 6)
+	pm, _ := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 0.5})
+	rng := randx.New(6)
+	g := s.Sample(geom.Pt(30, 30), 5, rng)
+	pm.LocalizeGroup(g)
+	if len(pm.scores) == 0 {
+		t.Fatal("scores should be populated")
+	}
+	pm.Reset()
+	if len(pm.scores) != 0 {
+		t.Error("Reset should clear scores")
+	}
+}
+
+func TestPMBeamDefaultApplied(t *testing.T) {
+	_, nodes := sampler(9, 6)
+	pm, _ := NewPM(fieldRect, nodes, 2, PMConfig{MaxVelocity: 5, Period: 0.5})
+	if pm.cfg.Beam != 24 {
+		t.Errorf("default beam = %d, want 24", pm.cfg.Beam)
+	}
+}
+
+func TestDetectionFromGroup(t *testing.T) {
+	g := &sampling.Group{
+		RSS: [][]float64{
+			{10, 30, 20},
+			{12, 28, 22},
+		},
+		Reported: []bool{true, true, true},
+	}
+	det, rep := detectionFromGroup(g)
+	// Mean RSS: 11, 29, 21 → order 1, 2, 0.
+	if len(det) != 3 || det[0] != 1 || det[1] != 2 || det[2] != 0 {
+		t.Errorf("detection = %v, want [1 2 0]", det)
+	}
+	if !rep[0] || !rep[1] || !rep[2] {
+		t.Errorf("reported = %v", rep)
+	}
+}
+
+func TestFaceOrdersRestriction(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	d, _ := NewDirectMLE(fieldRect, nodes, 5)
+	fo := d.fo
+	full := fo.orders[0]
+	if len(full) != 4 {
+		t.Fatalf("full order has %d IDs", len(full))
+	}
+	sub := fo.restricted(0, map[int]bool{full[0]: true, full[2]: true})
+	if len(sub) != 2 || sub[0] != full[0] || sub[1] != full[2] {
+		t.Errorf("restricted = %v from %v", sub, full)
+	}
+}

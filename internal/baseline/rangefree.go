@@ -1,0 +1,208 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/geom"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// WCL is the classic weighted-centroid localizer: the estimate is the
+// RSS-weighted mean of the reporting sensors' positions. It is the
+// cheapest range-free baseline and a common lower bar in the WSN
+// localization literature; FTTT should beat it whenever the geometry of
+// the uncertain areas carries information the centroid throws away.
+type WCL struct {
+	Field geom.Rect
+	Nodes []geom.Point
+	// Exponent g tunes how sharply weights follow received power;
+	// g = 1 uses linear power weights (the usual choice).
+	Exponent float64
+}
+
+// NewWCL builds a weighted-centroid localizer with exponent 1.
+func NewWCL(field geom.Rect, nodes []geom.Point) (*WCL, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("baseline: WCL needs nodes")
+	}
+	return &WCL{Field: field, Nodes: nodes, Exponent: 1}, nil
+}
+
+// LocalizeGroup estimates the target position from one grouping sampling.
+// With no reports it returns the field centre.
+func (w *WCL) LocalizeGroup(g *sampling.Group) geom.Point {
+	means, ids := g.MeanRSS()
+	if len(ids) == 0 {
+		return w.Field.Center()
+	}
+	// Convert dBm to linear power so weights are positive and the
+	// strongest reporter dominates proportionally.
+	var sx, sy, sw float64
+	for i, id := range ids {
+		p := math.Pow(10, means[i]/10)
+		if w.Exponent != 1 {
+			p = math.Pow(p, w.Exponent)
+		}
+		sx += p * w.Nodes[id].X
+		sy += p * w.Nodes[id].Y
+		sw += p
+	}
+	if sw <= 0 {
+		return w.Field.Center()
+	}
+	return w.Field.Clamp(geom.Pt(sx/sw, sy/sw))
+}
+
+// PkNN is a probabilistic k-nearest-neighbour tracker in the spirit of
+// Ren et al. [8]: instead of trusting the single strongest reporter, it
+// weights the k strongest by the probability that each is the true
+// nearest node given the noisy RSS, and returns the probability-weighted
+// centroid. The weight model is a softmax of mean RSS with temperature
+// σ_X·√2 — the scale of a pairwise comparison's noise — which is the
+// closed-form two-node "which is nearer?" posterior extended to k nodes.
+type PkNN struct {
+	Field geom.Rect
+	Nodes []geom.Point
+	Model rf.Model
+	// K is how many strongest reporters participate.
+	K int
+}
+
+// NewPkNN builds the tracker; k is clamped to the node count at query
+// time.
+func NewPkNN(field geom.Rect, nodes []geom.Point, model rf.Model, k int) (*PkNN, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("baseline: PkNN needs nodes")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: PkNN needs k ≥ 1, got %d", k)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &PkNN{Field: field, Nodes: nodes, Model: model, K: k}, nil
+}
+
+// LocalizeGroup estimates the target position from one grouping sampling.
+func (p *PkNN) LocalizeGroup(g *sampling.Group) geom.Point {
+	means, ids := g.MeanRSS()
+	if len(ids) == 0 {
+		return p.Field.Center()
+	}
+	// Select the K strongest reporters.
+	type nr struct {
+		id  int
+		rss float64
+	}
+	top := make([]nr, 0, len(ids))
+	for i, id := range ids {
+		top = append(top, nr{id: id, rss: means[i]})
+	}
+	for a := 1; a < len(top); a++ { // insertion sort by descending RSS
+		for b := a; b > 0 && top[b].rss > top[b-1].rss; b-- {
+			top[b], top[b-1] = top[b-1], top[b]
+		}
+	}
+	k := p.K
+	if k > len(top) {
+		k = len(top)
+	}
+	top = top[:k]
+
+	// Softmax over RSS with the pairwise-comparison noise temperature.
+	tau := p.Model.SigmaX * math.Sqrt2
+	if tau <= 0 {
+		tau = 1
+	}
+	ref := top[0].rss
+	var sx, sy, sw float64
+	for _, t := range top {
+		w := math.Exp((t.rss - ref) / tau)
+		sx += w * p.Nodes[t.id].X
+		sy += w * p.Nodes[t.id].Y
+		sw += w
+	}
+	return p.Field.Clamp(geom.Pt(sx/sw, sy/sw))
+}
+
+// Trilateration is the textbook range-based baseline: invert the mean
+// path-loss model to per-node distance estimates, then solve the
+// nonlinear least-squares position by Gauss-Newton iterations seeded at
+// the weighted centroid. It represents the "range-based tracking with
+// additional assumptions" family of Sec. 2 [11][12][13] — accurate when
+// the noise is small, brittle when it is not.
+type Trilateration struct {
+	Field geom.Rect
+	Nodes []geom.Point
+	Model rf.Model
+	// Iterations bounds the Gauss-Newton refinement (default 12).
+	Iterations int
+
+	wcl *WCL
+}
+
+// NewTrilateration builds the range-based localizer.
+func NewTrilateration(field geom.Rect, nodes []geom.Point, model rf.Model) (*Trilateration, error) {
+	if len(nodes) < 3 {
+		return nil, fmt.Errorf("baseline: trilateration needs ≥3 nodes, got %d", len(nodes))
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := NewWCL(field, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Trilateration{Field: field, Nodes: nodes, Model: model, Iterations: 12, wcl: w}, nil
+}
+
+// LocalizeGroup estimates the target position from one grouping sampling.
+// With fewer than three reports it falls back to the weighted centroid.
+func (tr *Trilateration) LocalizeGroup(g *sampling.Group) geom.Point {
+	means, ids := g.MeanRSS()
+	if len(ids) < 3 {
+		return tr.wcl.LocalizeGroup(g)
+	}
+	dists := make([]float64, len(ids))
+	for i := range ids {
+		dists[i] = tr.Model.InvertMeanRSS(means[i])
+	}
+	// Gauss-Newton on Σ (||x - p_i|| - d_i)².
+	est := tr.wcl.LocalizeGroup(g)
+	iters := tr.Iterations
+	if iters <= 0 {
+		iters = 12
+	}
+	for it := 0; it < iters; it++ {
+		var jtj00, jtj01, jtj11, jtr0, jtr1 float64
+		for i, id := range ids {
+			p := tr.Nodes[id]
+			dx, dy := est.X-p.X, est.Y-p.Y
+			r := math.Hypot(dx, dy)
+			if r < 1e-6 {
+				continue
+			}
+			res := r - dists[i]
+			jx, jy := dx/r, dy/r
+			jtj00 += jx * jx
+			jtj01 += jx * jy
+			jtj11 += jy * jy
+			jtr0 += jx * res
+			jtr1 += jy * res
+		}
+		det := jtj00*jtj11 - jtj01*jtj01
+		if math.Abs(det) < 1e-12 {
+			break
+		}
+		// Solve JᵀJ Δ = Jᵀr and step.
+		dx := (jtj11*jtr0 - jtj01*jtr1) / det
+		dy := (jtj00*jtr1 - jtj01*jtr0) / det
+		est = geom.Pt(est.X-dx, est.Y-dy)
+		if math.Hypot(dx, dy) < 1e-4 {
+			break
+		}
+	}
+	return tr.Field.Clamp(est)
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/stats"
+)
+
+func emptyGroup(n int) *sampling.Group {
+	return &sampling.Group{
+		RSS:      [][]float64{make([]float64, n)},
+		Reported: make([]bool, n),
+	}
+}
+
+func TestNewWCLValidation(t *testing.T) {
+	if _, err := NewWCL(fieldRect, nil); err == nil {
+		t.Error("no nodes should fail")
+	}
+	if _, err := NewWCL(fieldRect, []geom.Point{geom.Pt(1, 1)}); err != nil {
+		t.Errorf("valid WCL rejected: %v", err)
+	}
+}
+
+func TestWCLNoiselessBias(t *testing.T) {
+	// WCL pulls toward the strongest reporter; with a target on a sensor
+	// the estimate is very close to it.
+	s, nodes := sampler(16, 0)
+	w, _ := NewWCL(fieldRect, nodes)
+	pos := nodes[5]
+	g := s.Sample(pos, 5, randx.New(1))
+	if est := w.LocalizeGroup(g); est.Dist(pos) > 10 {
+		t.Errorf("WCL estimate %v far from target on sensor %v", est, pos)
+	}
+}
+
+func TestWCLEmptyGroup(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	w, _ := NewWCL(fieldRect, nodes)
+	if est := w.LocalizeGroup(emptyGroup(4)); est != fieldRect.Center() {
+		t.Errorf("empty group should give field centre, got %v", est)
+	}
+}
+
+func TestWCLInField(t *testing.T) {
+	s, nodes := sampler(9, 6)
+	w, _ := NewWCL(fieldRect, nodes)
+	rng := randx.New(2)
+	for i := 0; i < 50; i++ {
+		pos := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		if est := w.LocalizeGroup(s.Sample(pos, 3, rng.SplitN("t", i))); !fieldRect.Contains(est) {
+			t.Fatalf("estimate %v outside field", est)
+		}
+	}
+}
+
+func TestNewPkNNValidation(t *testing.T) {
+	_, nodes := sampler(9, 6)
+	if _, err := NewPkNN(fieldRect, nil, rf.Default(), 3); err == nil {
+		t.Error("no nodes should fail")
+	}
+	if _, err := NewPkNN(fieldRect, nodes, rf.Default(), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	bad := rf.Default()
+	bad.Beta = -1
+	if _, err := NewPkNN(fieldRect, nodes, bad, 3); err == nil {
+		t.Error("bad model should fail")
+	}
+}
+
+func TestPkNNBeatsWCLUnderNoise(t *testing.T) {
+	// PkNN's probability weighting should be at least competitive with
+	// plain WCL on noisy samples.
+	s, nodes := sampler(16, 6)
+	w, _ := NewWCL(fieldRect, nodes)
+	p, _ := NewPkNN(fieldRect, nodes, rf.Default(), 4)
+	rng := randx.New(3)
+	var errW, errP []float64
+	for i := 0; i < 200; i++ {
+		pos := geom.Pt(rng.Uniform(15, 85), rng.Uniform(15, 85))
+		g := s.Sample(pos, 5, rng.SplitN("t", i))
+		errW = append(errW, w.LocalizeGroup(g).Dist(pos))
+		errP = append(errP, p.LocalizeGroup(g).Dist(pos))
+	}
+	if stats.Mean(errP) > stats.Mean(errW)*1.25 {
+		t.Errorf("PkNN %.2f should be competitive with WCL %.2f",
+			stats.Mean(errP), stats.Mean(errW))
+	}
+}
+
+func TestPkNNKClamped(t *testing.T) {
+	s, nodes := sampler(4, 6)
+	p, _ := NewPkNN(fieldRect, nodes, rf.Default(), 50) // k > n
+	g := s.Sample(geom.Pt(50, 50), 3, randx.New(4))
+	if est := p.LocalizeGroup(g); !fieldRect.Contains(est) {
+		t.Errorf("estimate %v invalid with clamped k", est)
+	}
+}
+
+func TestPkNNEmptyGroup(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	p, _ := NewPkNN(fieldRect, nodes, rf.Default(), 3)
+	if est := p.LocalizeGroup(emptyGroup(4)); est != fieldRect.Center() {
+		t.Errorf("empty group should give field centre, got %v", est)
+	}
+}
+
+func TestNewTrilaterationValidation(t *testing.T) {
+	_, nodes := sampler(9, 6)
+	if _, err := NewTrilateration(fieldRect, nodes[:2], rf.Default()); err == nil {
+		t.Error("2 nodes should fail")
+	}
+	bad := rf.Default()
+	bad.SigmaX = -1
+	if _, err := NewTrilateration(fieldRect, nodes, bad); err == nil {
+		t.Error("bad model should fail")
+	}
+	if _, err := NewTrilateration(fieldRect, nodes, rf.Default()); err != nil {
+		t.Errorf("valid trilateration rejected: %v", err)
+	}
+}
+
+func TestTrilaterationNoiselessExact(t *testing.T) {
+	// Zero noise: inverted ranges are exact, Gauss-Newton converges to
+	// the true position.
+	s, nodes := sampler(9, 0)
+	tr, _ := NewTrilateration(fieldRect, nodes, s.Model)
+	rng := randx.New(5)
+	for i := 0; i < 20; i++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		g := s.Sample(pos, 3, rng.SplitN("t", i))
+		est := tr.LocalizeGroup(g)
+		if est.Dist(pos) > 0.5 {
+			t.Fatalf("noiseless trilateration err %.3f at %v (est %v)", est.Dist(pos), pos, est)
+		}
+	}
+}
+
+func TestTrilaterationFallbackFewReports(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	tr, _ := NewTrilateration(fieldRect, nodes, rf.Default())
+	g := &sampling.Group{
+		RSS:      [][]float64{{-50, -60, 0, 0}},
+		Reported: []bool{true, true, false, false},
+	}
+	if est := tr.LocalizeGroup(g); !fieldRect.Contains(est) {
+		t.Errorf("2-report fallback gave %v", est)
+	}
+}
+
+func TestTrilaterationStaysInField(t *testing.T) {
+	s, nodes := sampler(9, 6)
+	tr, _ := NewTrilateration(fieldRect, nodes, s.Model)
+	rng := randx.New(6)
+	for i := 0; i < 100; i++ {
+		pos := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		est := tr.LocalizeGroup(s.Sample(pos, 3, rng.SplitN("t", i)))
+		if !fieldRect.Contains(est) || math.IsNaN(est.X) {
+			t.Fatalf("estimate %v invalid", est)
+		}
+	}
+}
+
+func TestTrilaterationDegradesGracefullyWithNoise(t *testing.T) {
+	// Under Table 1 noise the inverted ranges are badly biased; the
+	// estimate must stay finite and bounded, not explode.
+	s, nodes := sampler(16, 6)
+	tr, _ := NewTrilateration(fieldRect, nodes, s.Model)
+	rng := randx.New(7)
+	var errs []float64
+	for i := 0; i < 100; i++ {
+		pos := geom.Pt(rng.Uniform(15, 85), rng.Uniform(15, 85))
+		errs = append(errs, tr.LocalizeGroup(s.Sample(pos, 5, rng.SplitN("t", i))).Dist(pos))
+	}
+	if m := stats.Mean(errs); m > 60 {
+		t.Errorf("noisy trilateration mean error %.1f exploded", m)
+	}
+}

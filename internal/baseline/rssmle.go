@@ -1,0 +1,84 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/geom"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// RSSMLE is the strongest classical comparator: a grid-search maximum
+// likelihood localizer over the raw RSS values. For a candidate cell x,
+// the log-likelihood of the reported mean RSS under eq. 1 is (up to
+// constants) −Σ_i (rss_i − MeanRSS(|x − p_i|))²; the estimate is the
+// best cell's centre. Unlike the sequence/face methods it consumes the
+// absolute RSS magnitudes, so it is sensitive to P0 calibration errors —
+// the Bias knob injects such a miscalibration for robustness studies.
+type RSSMLE struct {
+	Field geom.Rect
+	Nodes []geom.Point
+	Model rf.Model
+	// CellSize is the search-grid resolution in metres.
+	CellSize float64
+	// Bias is an additive calibration error (dB) applied to the model's
+	// predictions, simulating a miscalibrated P0.
+	Bias float64
+
+	cols, rows int
+}
+
+// NewRSSMLE builds the localizer.
+func NewRSSMLE(field geom.Rect, nodes []geom.Point, model rf.Model, cellSize float64) (*RSSMLE, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("baseline: RSSMLE needs nodes")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive cell size %v", cellSize)
+	}
+	cols := int(field.Width()/cellSize + 0.5)
+	rows := int(field.Height()/cellSize + 0.5)
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("baseline: cell size %v too large", cellSize)
+	}
+	return &RSSMLE{
+		Field: field, Nodes: nodes, Model: model, CellSize: cellSize,
+		cols: cols, rows: rows,
+	}, nil
+}
+
+// LocalizeGroup estimates the target position from one grouping sampling.
+func (m *RSSMLE) LocalizeGroup(g *sampling.Group) geom.Point {
+	means, ids := g.MeanRSS()
+	if len(ids) == 0 {
+		return m.Field.Center()
+	}
+	best := math.Inf(1)
+	bestPt := m.Field.Center()
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			x := geom.Pt(
+				m.Field.Min.X+(float64(c)+0.5)*m.CellSize,
+				m.Field.Min.Y+(float64(r)+0.5)*m.CellSize,
+			)
+			var ss float64
+			for i, id := range ids {
+				pred := m.Model.MeanRSS(x.Dist(m.Nodes[id])) + m.Bias
+				d := means[i] - pred
+				ss += d * d
+				if ss >= best {
+					break // prune: already worse
+				}
+			}
+			if ss < best {
+				best = ss
+				bestPt = x
+			}
+		}
+	}
+	return bestPt
+}

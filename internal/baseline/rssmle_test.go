@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/stats"
+)
+
+func TestNewRSSMLEValidation(t *testing.T) {
+	_, nodes := sampler(9, 6)
+	if _, err := NewRSSMLE(fieldRect, nil, rf.Default(), 2); err == nil {
+		t.Error("no nodes should fail")
+	}
+	if _, err := NewRSSMLE(fieldRect, nodes, rf.Default(), 0); err == nil {
+		t.Error("zero cell should fail")
+	}
+	if _, err := NewRSSMLE(fieldRect, nodes, rf.Default(), 1e6); err == nil {
+		t.Error("huge cell should fail")
+	}
+	bad := rf.Default()
+	bad.Beta = 0
+	if _, err := NewRSSMLE(fieldRect, nodes, bad, 2); err == nil {
+		t.Error("bad model should fail")
+	}
+}
+
+func TestRSSMLENoiselessIsNearExact(t *testing.T) {
+	s, nodes := sampler(9, 0)
+	m, err := NewRSSMLE(fieldRect, nodes, s.Model, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	for trial := 0; trial < 20; trial++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		g := s.Sample(pos, 3, rng.SplitN("t", trial))
+		est := m.LocalizeGroup(g)
+		// Error bounded by the grid diagonal.
+		if est.Dist(pos) > 2 {
+			t.Fatalf("noiseless RSSMLE err %.2f at %v", est.Dist(pos), pos)
+		}
+	}
+}
+
+func TestRSSMLEEmptyGroup(t *testing.T) {
+	_, nodes := sampler(4, 6)
+	m, _ := NewRSSMLE(fieldRect, nodes, rf.Default(), 4)
+	if est := m.LocalizeGroup(emptyGroup(4)); est != fieldRect.Center() {
+		t.Errorf("empty group gave %v", est)
+	}
+}
+
+func TestRSSMLESensitiveToCalibrationBias(t *testing.T) {
+	// The absolute-RSS method degrades under a P0 miscalibration that
+	// comparison-based FTTT is immune to by construction.
+	s, nodes := sampler(16, 3)
+	calibrated, _ := NewRSSMLE(fieldRect, nodes, s.Model, 2)
+	biased, _ := NewRSSMLE(fieldRect, nodes, s.Model, 2)
+	biased.Bias = 8 // 8 dB calibration error
+	rng := randx.New(2)
+	var errCal, errBias []float64
+	for trial := 0; trial < 60; trial++ {
+		pos := geom.Pt(rng.Uniform(15, 85), rng.Uniform(15, 85))
+		g := s.Sample(pos, 5, rng.SplitN("t", trial))
+		errCal = append(errCal, calibrated.LocalizeGroup(g).Dist(pos))
+		errBias = append(errBias, biased.LocalizeGroup(g).Dist(pos))
+	}
+	if stats.Mean(errBias) <= stats.Mean(errCal) {
+		t.Errorf("bias should hurt: calibrated %.2f vs biased %.2f",
+			stats.Mean(errCal), stats.Mean(errBias))
+	}
+}
+
+func TestRSSMLEInField(t *testing.T) {
+	s, nodes := sampler(9, 6)
+	m, _ := NewRSSMLE(fieldRect, nodes, s.Model, 4)
+	rng := randx.New(3)
+	for trial := 0; trial < 30; trial++ {
+		pos := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		if est := m.LocalizeGroup(s.Sample(pos, 3, rng.SplitN("t", trial))); !fieldRect.Contains(est) {
+			t.Fatalf("estimate %v outside field", est)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package core implements the paper's primary contribution: the
+// Fault-Tolerant Target-Tracking (FTTT) strategy of Sec. 4.
+//
+// A Tracker owns the preprocessed field division (uncertain-boundary
+// faces with signature vectors, Sec. 4.3), a matcher (exhaustive ML or
+// the heuristic neighbor-link climb of Algorithm 2), and a variant flag
+// selecting the Basic ternary sampling vectors (Def. 5) or the Extended
+// quantitative ones (Def. 10). Each call to Localize consumes one
+// grouping sampling and returns a location estimate; Track runs a whole
+// trace, warm-starting every localization from the previous face as the
+// paper's consecutive-tracking optimisation prescribes.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/match"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/vector"
+)
+
+// Variant selects how sampling vectors are built.
+type Variant int
+
+const (
+	// Basic uses the ternary node-pair values of Def. 4.
+	Basic Variant = iota
+	// Extended uses the quantitative pair values of Def. 10 (Sec. 6),
+	// which break maximum-similarity ties and smooth the trajectory.
+	Extended
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Basic:
+		return "basic"
+	case Extended:
+		return "extended"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Config collects the tracker's parameters; see Table 1 for the paper's
+// evaluation settings.
+type Config struct {
+	// Field is the monitor area (Table 1: 100×100 m²).
+	Field geom.Rect
+	// Nodes are the sensor positions in ID order.
+	Nodes []geom.Point
+	// Model is the path-loss model (Table 1: β=4, σ_X=6).
+	Model rf.Model
+	// Epsilon is the sensing resolution ε in dBm (Table 1: 0.5-3).
+	Epsilon float64
+	// SamplingTimes is k, the number of samples per grouping (Table 1:
+	// 3-9).
+	SamplingTimes int
+	// Range is the sensing range R in metres (Table 1: 40); 0 disables
+	// the range limit.
+	Range float64
+	// ReportLoss is the per-localization probability that an in-range
+	// node's report is lost, exercising the fault tolerance of
+	// Sec. 4.4(3).
+	ReportLoss float64
+	// CellSize is the approximate-grid-division cell edge in metres
+	// (Sec. 4.3); 0 selects 1 m.
+	CellSize float64
+	// Variant selects Basic or Extended sampling vectors.
+	Variant Variant
+	// Exhaustive forces the O(n⁴) ergodic matcher instead of the
+	// heuristic neighbor-link matcher of Algorithm 2.
+	Exhaustive bool
+	// FallbackBelow, when positive, makes the heuristic matcher rerun an
+	// exhaustive scan whenever its climb converges below this similarity.
+	// The paper's Algorithm 2 has no such escape (leave it 0 to be
+	// faithful); it exists for the ablation study of DESIGN.md §5.
+	FallbackBelow float64
+	// CustomC, when positive, overrides the uncertainty constant used for
+	// the boundary division. The default (0) is the paper's eq. 3
+	// constant; rf.Model.CalibratedC offers a flip-calibrated alternative
+	// compared in the BoundaryAblation experiment (DESIGN.md §5).
+	CustomC float64
+	// TopM, when positive, replaces the argmax estimator with the
+	// similarity-weighted mean of the M best faces (match.WeightedTopM) —
+	// the estimator ablation of DESIGN.md §5. It implies an exhaustive
+	// scan per localization.
+	TopM int
+}
+
+// UncertaintyC returns the uncertainty constant the configuration
+// selects: CustomC when set, otherwise the paper's eq. 3 constant.
+func (c Config) UncertaintyC() float64 {
+	if c.CustomC > 0 {
+		return c.CustomC
+	}
+	return c.Model.UncertaintyC(c.Epsilon)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", len(c.Nodes))
+	}
+	if c.SamplingTimes < 1 {
+		return fmt.Errorf("core: sampling times k must be ≥ 1, got %d", c.SamplingTimes)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("core: sensing resolution ε must be ≥ 0, got %v", c.Epsilon)
+	}
+	if c.Field.Width() <= 0 || c.Field.Height() <= 0 {
+		return fmt.Errorf("core: degenerate field %v", c.Field)
+	}
+	return c.Model.Validate()
+}
+
+// Tracker is a ready-to-run FTTT instance.
+type Tracker struct {
+	cfg     Config
+	div     *field.Division
+	matcher match.Matcher
+	sampler *sampling.Sampler
+	prev    *field.Face
+}
+
+// New preprocesses the field division and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cell := cfg.CellSize
+	if cell == 0 {
+		cell = 1
+	}
+	c := cfg.UncertaintyC()
+	rc, err := field.NewRatioClassifier(cfg.Nodes, c)
+	if err != nil {
+		return nil, err
+	}
+	div, err := field.Divide(cfg.Field, rc, cell)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithDivision(cfg, div)
+}
+
+// NewWithDivision builds a Tracker over an existing field division —
+// several trackers (e.g. the Basic and Extended variants in a comparison
+// run) can share one preprocessed division, which dominates construction
+// cost. The division must have been built for cfg's nodes and uncertainty
+// constant; this is not re-checked.
+func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var m match.Matcher
+	switch {
+	case cfg.TopM > 0:
+		m = &match.WeightedTopM{Div: div, M: cfg.TopM}
+	case cfg.Exhaustive:
+		m = &match.Exhaustive{Div: div}
+	default:
+		m = &match.Heuristic{
+			Div:           div,
+			Incremental:   true, // identical results, ~3× faster per hop
+			Fallback:      cfg.FallbackBelow > 0,
+			FallbackBelow: cfg.FallbackBelow,
+		}
+	}
+	return &Tracker{
+		cfg:     cfg,
+		div:     div,
+		matcher: m,
+		sampler: &sampling.Sampler{
+			Model:      cfg.Model,
+			Nodes:      cfg.Nodes,
+			Range:      cfg.Range,
+			ReportLoss: cfg.ReportLoss,
+			Epsilon:    cfg.Epsilon,
+		},
+	}, nil
+}
+
+// Division exposes the preprocessed field division (read-only).
+func (t *Tracker) Division() *field.Division { return t.div }
+
+// Config returns the tracker's configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Reset forgets the previous face so the next localization cold-starts.
+func (t *Tracker) Reset() { t.prev = nil }
+
+// Estimate is the outcome of one localization.
+type Estimate struct {
+	// Pos is the estimated target position.
+	Pos geom.Point
+	// FaceID is the matched face.
+	FaceID int
+	// Similarity is the matching similarity (Def. 7); +Inf for an exact
+	// signature match.
+	Similarity float64
+	// Reported is |N_r|, how many nodes contributed to this localization.
+	Reported int
+	// Stars counts the Star components in the sampling vector (pairs of
+	// silent nodes).
+	Stars int
+	// Visited is the number of faces the matcher evaluated.
+	Visited int
+	// pairsTotal is the sampling vector's dimension, kept for
+	// Confidence.
+	pairsTotal int
+}
+
+// Confidence scores the estimate in [0, 1]: the product of a similarity
+// term (how well the sampling vector matched the face; distance d maps
+// to 1/(1+d)) and a participation term (what fraction of pairs had at
+// least one reporting node). Low-confidence estimates are the ones an
+// application should treat as "target possibly lost" — see the
+// faulttolerance example.
+func (e Estimate) Confidence() float64 {
+	sim := 1.0
+	if !math.IsInf(e.Similarity, 1) && e.Similarity > 0 {
+		d := 1 / e.Similarity
+		sim = 1 / (1 + d)
+	} else if e.Similarity <= 0 {
+		sim = 0
+	}
+	pairs := e.Stars + e.participating()
+	part := 1.0
+	if pairs > 0 {
+		part = float64(e.participating()) / float64(pairs)
+	}
+	return sim * part
+}
+
+// participating returns the number of non-star pairs.
+func (e Estimate) participating() int {
+	if e.pairsTotal <= 0 {
+		return 0
+	}
+	return e.pairsTotal - e.Stars
+}
+
+// Localize performs one grouping sampling at the true target position pos
+// and matches it to a face. rng drives the sampling noise and losses;
+// pass an independent substream per localization for reproducibility.
+func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
+	g := t.sampler.Sample(pos, t.cfg.SamplingTimes, rng)
+	return t.LocalizeGroup(g)
+}
+
+// LocalizeGroup matches an externally collected grouping sampling — the
+// entry point used by the wsnnet substrate, whose reports arrive through
+// the simulated network rather than directly from the sampler.
+func (t *Tracker) LocalizeGroup(g *sampling.Group) Estimate {
+	var v vector.Vector
+	if t.cfg.Variant == Extended {
+		v = g.ExtendedVector()
+	} else {
+		v = g.Vector()
+	}
+	r := t.matcher.Match(v, t.prev)
+	t.prev = r.Face
+	return Estimate{
+		Pos:        r.Estimate,
+		FaceID:     r.Face.ID,
+		Similarity: r.Similarity,
+		Reported:   g.NumReported(),
+		Stars:      v.CountStars(),
+		Visited:    r.Visited,
+		pairsTotal: v.Dim(),
+	}
+}
+
+// TrackedPoint pairs a true target position with its estimate.
+type TrackedPoint struct {
+	T        float64
+	True     geom.Point
+	Estimate Estimate
+	// Error is the geographic distance between estimate and truth — the
+	// paper's tracking error metric (Sec. 7).
+	Error float64
+}
+
+// Track localizes every point of the true trace in order, warm-starting
+// each localization from the previous face. times[i] is paired with
+// trace[i]; pass nil times to use the index as time.
+func (t *Tracker) Track(trace []geom.Point, times []float64, rng *randx.Stream) []TrackedPoint {
+	out := make([]TrackedPoint, len(trace))
+	for i, pos := range trace {
+		est := t.Localize(pos, rng.SplitN("loc", i))
+		tm := float64(i)
+		if times != nil {
+			tm = times[i]
+		}
+		out[i] = TrackedPoint{
+			T:        tm,
+			True:     pos,
+			Estimate: est,
+			Error:    est.Pos.Dist(pos),
+		}
+	}
+	return out
+}
+
+// Errors extracts the per-point tracking errors from a tracked trace.
+func Errors(pts []TrackedPoint) []float64 {
+	errs := make([]float64, len(pts))
+	for i, p := range pts {
+		errs[i] = p.Error
+	}
+	return errs
+}
+
+// RequiredSamplingTimes returns the minimum grouping-sampling count k
+// satisfying the Sec. 5.1 bound: the probability of capturing every
+// expected flipped pair among nPairs pairs exceeds lambda when
+//
+//	k > 1 − log2(1 − λ^(1/(N−1))).
+//
+// For nPairs ≤ 1 the bound degenerates and the function returns 1.
+func RequiredSamplingTimes(nPairs int, lambda float64) int {
+	if nPairs <= 1 || lambda <= 0 {
+		return 1
+	}
+	if lambda >= 1 {
+		panic("core: λ must be < 1")
+	}
+	root := math.Pow(lambda, 1/float64(nPairs-1))
+	k := 1 - math.Log2(1-root)
+	ik := int(k) + 1 // strictly greater
+	if ik < 1 {
+		ik = 1
+	}
+	return ik
+}
+
+// FlipCaptureProbability returns the Sec. 5.1 probability that a grouping
+// sampling of k instants captures all of nPairs expected flipped pairs:
+// (1 − (1/2)^(k−1))^(N−1) per Appendix I's closed form as used in the
+// body of the paper.
+func FlipCaptureProbability(nPairs, k int) float64 {
+	if nPairs <= 0 {
+		return 1
+	}
+	f := math.Pow(0.5, float64(k-1))
+	exp := float64(nPairs - 1)
+	if exp < 1 {
+		exp = 1
+	}
+	return math.Pow(1-f, exp)
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/stats"
+	"fttt/internal/vector"
+)
+
+var fieldRect = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+
+func defaultConfig(n int) Config {
+	d := deploy.Grid(fieldRect, n)
+	return Config{
+		Field:         fieldRect,
+		Nodes:         d.Positions(),
+		Model:         rf.Default(),
+		Epsilon:       1,
+		SamplingTimes: 5,
+		Range:         40,
+		CellSize:      2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := defaultConfig(4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.Nodes = bad.Nodes[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("1 node should be rejected")
+	}
+	bad = good
+	bad.SamplingTimes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	bad = good
+	bad.Epsilon = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("ε<0 should be rejected")
+	}
+	bad = good
+	bad.Field = geom.Rect{}
+	if err := bad.Validate(); err == nil {
+		t.Error("degenerate field should be rejected")
+	}
+	bad = good
+	bad.Model.Beta = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad model should be rejected")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := defaultConfig(4)
+	cfg.SamplingTimes = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New should propagate validation errors")
+	}
+}
+
+func TestLocalizeReasonableError(t *testing.T) {
+	// A single localization should land within a few tens of metres —
+	// generous bound, but it catches gross matching errors.
+	tr, err := New(defaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(1)
+	var errs []float64
+	for trial := 0; trial < 50; trial++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		est := tr.Localize(pos, rng.SplitN("t", trial))
+		errs = append(errs, est.Pos.Dist(pos))
+	}
+	if mean := stats.Mean(errs); mean > 25 {
+		t.Errorf("mean one-shot error %v m too large", mean)
+	}
+}
+
+func TestLocalizeNoiselessIsAccurate(t *testing.T) {
+	// With no noise and fine resolution the estimate should be very close
+	// (bounded by face size).
+	cfg := defaultConfig(16)
+	cfg.Model.SigmaX = 0
+	cfg.Epsilon = 0.1
+	cfg.CellSize = 1
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(2)
+	var errs []float64
+	for trial := 0; trial < 30; trial++ {
+		pos := geom.Pt(rng.Uniform(20, 80), rng.Uniform(20, 80))
+		est := tr.Localize(pos, rng.SplitN("t", trial))
+		errs = append(errs, est.Pos.Dist(pos))
+	}
+	if mean := stats.Mean(errs); mean > 10 {
+		t.Errorf("noiseless mean error %v m too large", mean)
+	}
+}
+
+func TestTrackProducesAllPoints(t *testing.T) {
+	tr, _ := New(defaultConfig(9))
+	m := mobility.RandomWaypoint(fieldRect, 1, 5, 10, randx.New(3))
+	trace := mobility.Sample(m, 10, 2)
+	pts := make([]geom.Point, len(trace))
+	times := make([]float64, len(trace))
+	for i, tp := range trace {
+		pts[i] = tp.Pos
+		times[i] = tp.T
+	}
+	tracked := tr.Track(pts, times, randx.New(4))
+	if len(tracked) != len(pts) {
+		t.Fatalf("tracked %d points, want %d", len(tracked), len(pts))
+	}
+	for i, tp := range tracked {
+		if tp.T != times[i] {
+			t.Fatalf("time mismatch at %d", i)
+		}
+		if tp.Error != tp.Estimate.Pos.Dist(tp.True) {
+			t.Fatalf("error field inconsistent at %d", i)
+		}
+		if !fieldRect.Contains(tp.Estimate.Pos) {
+			t.Fatalf("estimate %v outside field", tp.Estimate.Pos)
+		}
+	}
+}
+
+func TestTrackNilTimesUsesIndex(t *testing.T) {
+	tr, _ := New(defaultConfig(4))
+	pts := []geom.Point{geom.Pt(30, 30), geom.Pt(40, 40)}
+	tracked := tr.Track(pts, nil, randx.New(5))
+	if tracked[0].T != 0 || tracked[1].T != 1 {
+		t.Errorf("nil times should index: %v %v", tracked[0].T, tracked[1].T)
+	}
+}
+
+func TestTrackReproducible(t *testing.T) {
+	pts := []geom.Point{geom.Pt(30, 30), geom.Pt(35, 35), geom.Pt(40, 40)}
+	run := func() []TrackedPoint {
+		tr, _ := New(defaultConfig(9))
+		return tr.Track(pts, nil, randx.New(6))
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Estimate.Pos != b[i].Estimate.Pos {
+			t.Fatalf("tracking not reproducible at point %d", i)
+		}
+	}
+}
+
+func TestExtendedVariantRuns(t *testing.T) {
+	cfg := defaultConfig(9)
+	cfg.Variant = Extended
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := tr.Localize(geom.Pt(50, 50), randx.New(7))
+	if !fieldRect.Contains(est.Pos) {
+		t.Errorf("estimate %v outside field", est.Pos)
+	}
+}
+
+func TestExhaustiveMatcherOption(t *testing.T) {
+	cfg := defaultConfig(4)
+	cfg.Exhaustive = true
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := tr.Localize(geom.Pt(50, 50), randx.New(8))
+	if est.Visited != tr.Division().NumFaces() {
+		t.Errorf("exhaustive visited %d faces, want all %d", est.Visited, tr.Division().NumFaces())
+	}
+}
+
+func TestFaultToleranceKeepsTracking(t *testing.T) {
+	// Half the reports are lost; the tracker must still return in-field
+	// estimates with bounded error.
+	cfg := defaultConfig(16)
+	cfg.ReportLoss = 0.5
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randx.New(9)
+	var errs []float64
+	stars := 0
+	for trial := 0; trial < 50; trial++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		est := tr.Localize(pos, rng.SplitN("t", trial))
+		if !fieldRect.Contains(est.Pos) {
+			t.Fatalf("estimate %v outside field", est.Pos)
+		}
+		errs = append(errs, est.Pos.Dist(pos))
+		stars += est.Stars
+	}
+	if stars == 0 {
+		t.Error("expected some Star pairs with 50% loss")
+	}
+	if mean := stats.Mean(errs); mean > 40 {
+		t.Errorf("faulty mean error %v m too large", mean)
+	}
+}
+
+func TestResetForgetsWarmStart(t *testing.T) {
+	tr, _ := New(defaultConfig(9))
+	tr.Localize(geom.Pt(20, 20), randx.New(10))
+	if tr.prev == nil {
+		t.Fatal("prev should be set after a localization")
+	}
+	tr.Reset()
+	if tr.prev != nil {
+		t.Error("Reset should clear prev")
+	}
+}
+
+func TestConfidenceProperties(t *testing.T) {
+	tr, _ := New(defaultConfig(16))
+	rng := randx.New(21)
+	for trial := 0; trial < 30; trial++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		est := tr.Localize(pos, rng.SplitN("t", trial))
+		c := est.Confidence()
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			t.Fatalf("confidence %v out of [0,1]", c)
+		}
+	}
+}
+
+func TestConfidenceDropsWithLoss(t *testing.T) {
+	// Heavy report loss (many stars) should lower the mean confidence.
+	mean := func(loss float64) float64 {
+		cfg := defaultConfig(16)
+		cfg.ReportLoss = loss
+		tr, _ := New(cfg)
+		rng := randx.New(22)
+		var sum float64
+		for trial := 0; trial < 40; trial++ {
+			pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+			sum += tr.Localize(pos, rng.SplitN("t", trial)).Confidence()
+		}
+		return sum / 40
+	}
+	if lossy, clean := mean(0.7), mean(0); lossy >= clean {
+		t.Errorf("confidence under 70%% loss (%.3f) should be below clean (%.3f)", lossy, clean)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Basic.String() != "basic" || Extended.String() != "extended" {
+		t.Error("Variant strings wrong")
+	}
+	if Variant(9).String() == "" {
+		t.Error("unknown variant should still print")
+	}
+}
+
+func TestRequiredSamplingTimesPaperExample(t *testing.T) {
+	// Sec. 5.1: N = C(20,2) = 190 pairs... the paper states "20 sensor
+	// nodes... k = 16 can satisfy" λ=0.99. With N=190 the bound gives
+	// 1 - log2(1 - 0.99^(1/189)) ≈ 15.2 → k = 16.
+	n := vector.NumPairs(20)
+	if n != 190 {
+		t.Fatalf("pairs = %d", n)
+	}
+	if got := RequiredSamplingTimes(n, 0.99); got != 16 {
+		t.Errorf("RequiredSamplingTimes(190, 0.99) = %d, want 16", got)
+	}
+}
+
+func TestRequiredSamplingTimesMonotone(t *testing.T) {
+	// More pairs or higher confidence need at least as many samples.
+	prev := 0
+	for _, n := range []int{2, 10, 50, 200, 1000} {
+		k := RequiredSamplingTimes(n, 0.95)
+		if k < prev {
+			t.Errorf("k not monotone in N at %d: %d < %d", n, k, prev)
+		}
+		prev = k
+	}
+	if RequiredSamplingTimes(100, 0.999) < RequiredSamplingTimes(100, 0.9) {
+		t.Error("k should grow with λ")
+	}
+}
+
+func TestRequiredSamplingTimesDegenerate(t *testing.T) {
+	if got := RequiredSamplingTimes(1, 0.99); got != 1 {
+		t.Errorf("single pair should need k=1, got %d", got)
+	}
+	if got := RequiredSamplingTimes(0, 0.99); got != 1 {
+		t.Errorf("no pairs should need k=1, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("λ=1 should panic")
+		}
+	}()
+	RequiredSamplingTimes(10, 1)
+}
+
+func TestFlipCaptureProbability(t *testing.T) {
+	// Bound consistency: k from RequiredSamplingTimes achieves ≥ λ.
+	for _, n := range []int{5, 50, 190} {
+		for _, lambda := range []float64{0.9, 0.99} {
+			k := RequiredSamplingTimes(n, lambda)
+			if p := FlipCaptureProbability(n, k); p < lambda {
+				t.Errorf("N=%d λ=%v: k=%d gives p=%v < λ", n, lambda, k, p)
+			}
+			if p := FlipCaptureProbability(n, k-1); p >= lambda && k > 1 {
+				t.Errorf("N=%d λ=%v: k-1=%d already gives p=%v ≥ λ; bound not tight", n, lambda, k-1, p)
+			}
+		}
+	}
+	if got := FlipCaptureProbability(0, 5); got != 1 {
+		t.Errorf("no pairs capture prob = %v, want 1", got)
+	}
+}
+
+func TestFlipCaptureProbabilityMonteCarlo(t *testing.T) {
+	// Appendix I by simulation: each of N pairs independently produces a
+	// uniform ±1 outcome per instant; the pair's flip is captured iff both
+	// signs appear among k instants. Compare the empirical all-captured
+	// probability with (1-(1/2)^(k-1))^(N-1)... the paper's closed form
+	// uses exponent N-1 in the body (N in the appendix); our Monte Carlo
+	// discriminates: independence gives exactly exponent N.
+	rng := randx.New(42)
+	N, k := 6, 5
+	const trials = 200000
+	captured := 0
+	for trial := 0; trial < trials; trial++ {
+		all := true
+		for p := 0; p < N; p++ {
+			up, down := false, false
+			for s := 0; s < k; s++ {
+				if rng.Bernoulli(0.5) {
+					up = true
+				} else {
+					down = true
+				}
+			}
+			if !(up && down) {
+				all = false
+			}
+		}
+		if all {
+			captured++
+		}
+	}
+	got := float64(captured) / trials
+	f := math.Pow(0.5, float64(k-1))
+	exact := math.Pow(1-f, float64(N))
+	if math.Abs(got-exact) > 0.005 {
+		t.Errorf("Monte Carlo %v vs independent-pairs exact %v", got, exact)
+	}
+	// The paper's body formula with N-1 is an upper bound of the exact
+	// independent probability.
+	body := FlipCaptureProbability(N, k)
+	if body < exact {
+		t.Errorf("body formula %v should upper-bound exact %v", body, exact)
+	}
+}
+
+func TestHeuristicCheaperThanExhaustiveOnTraces(t *testing.T) {
+	// Consecutive tracking with the heuristic matcher must evaluate far
+	// fewer faces than exhaustive matching (Sec. 4.4's O(n²) vs O(n⁴)).
+	mkTrace := func() []geom.Point {
+		m := mobility.RandomWaypoint(fieldRect, 1, 5, 20, randx.New(11))
+		trace := mobility.Sample(m, 20, 2)
+		pts := make([]geom.Point, len(trace))
+		for i, tp := range trace {
+			pts[i] = tp.Pos
+		}
+		return pts
+	}
+	pts := mkTrace()
+
+	cfgH := defaultConfig(16)
+	trH, _ := New(cfgH)
+	cfgE := defaultConfig(16)
+	cfgE.Exhaustive = true
+	trE, _ := New(cfgE)
+
+	sum := func(tps []TrackedPoint) int {
+		total := 0
+		for _, tp := range tps {
+			total += tp.Estimate.Visited
+		}
+		return total
+	}
+	visH := sum(trH.Track(pts, nil, randx.New(12)))
+	visE := sum(trE.Track(pts, nil, randx.New(12)))
+	if visH*2 > visE {
+		t.Errorf("heuristic visited %d faces vs exhaustive %d; expected <half", visH, visE)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fttt/internal/field"
+	"fttt/internal/sampling"
+)
+
+// MultiTracker tracks several targets over one shared field division —
+// the natural extension of FTTT to the multi-target setting when targets
+// emit distinguishable signals (the outdoor system's fixed-frequency
+// resonator generalises to one frequency per target, so sensors report
+// per-target RSS separately). Each target keeps its own warm-start face;
+// the expensive preprocessing (Sec. 4.3) is shared.
+type MultiTracker struct {
+	base     Config
+	shared   *Tracker // owns the division
+	trackers map[string]*Tracker
+}
+
+// NewMulti preprocesses the division once and returns an empty
+// multi-target tracker; targets are added lazily on first localization.
+func NewMulti(cfg Config) (*MultiTracker, error) {
+	shared, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiTracker{
+		base:     cfg,
+		shared:   shared,
+		trackers: make(map[string]*Tracker),
+	}, nil
+}
+
+// Targets returns the known target IDs in sorted order.
+func (m *MultiTracker) Targets() []string {
+	ids := make([]string, 0, len(m.trackers))
+	for id := range m.trackers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// tracker returns (creating if needed) the per-target tracker.
+func (m *MultiTracker) tracker(targetID string) (*Tracker, error) {
+	if tr, ok := m.trackers[targetID]; ok {
+		return tr, nil
+	}
+	tr, err := NewWithDivision(m.base, m.shared.Division())
+	if err != nil {
+		return nil, err
+	}
+	m.trackers[targetID] = tr
+	return tr, nil
+}
+
+// LocalizeGroup matches one target's grouping sampling, warm-starting
+// from that target's previous face.
+func (m *MultiTracker) LocalizeGroup(targetID string, g *sampling.Group) (Estimate, error) {
+	if targetID == "" {
+		return Estimate{}, fmt.Errorf("core: empty target ID")
+	}
+	tr, err := m.tracker(targetID)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return tr.LocalizeGroup(g), nil
+}
+
+// Forget drops a target's state (e.g. it left the field).
+func (m *MultiTracker) Forget(targetID string) {
+	delete(m.trackers, targetID)
+}
+
+// Division exposes the shared preprocessed division.
+func (m *MultiTracker) Division() *field.Division {
+	return m.shared.Division()
+}

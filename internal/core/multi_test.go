@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/sampling"
+	"fttt/internal/stats"
+)
+
+func TestMultiTrackerTracksTwoTargets(t *testing.T) {
+	cfg := defaultConfig(16)
+	m, err := NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+	rng := randx.New(1)
+
+	// Two targets in opposite corners walking inward.
+	var errA, errB []float64
+	for i := 0; i < 30; i++ {
+		f := float64(i)
+		posA := geom.Pt(20+f, 20+f)
+		posB := geom.Pt(80-f, 80-f)
+		gA := s.Sample(posA, cfg.SamplingTimes, rng.SplitN("a", i))
+		gB := s.Sample(posB, cfg.SamplingTimes, rng.SplitN("b", i))
+		eA, err := m.LocalizeGroup("alpha", gA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eB, err := m.LocalizeGroup("bravo", gB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errA = append(errA, eA.Pos.Dist(posA))
+		errB = append(errB, eB.Pos.Dist(posB))
+	}
+	if got := m.Targets(); len(got) != 2 || got[0] != "alpha" || got[1] != "bravo" {
+		t.Fatalf("Targets = %v", got)
+	}
+	if stats.Mean(errA) > 20 || stats.Mean(errB) > 20 {
+		t.Errorf("multi-target errors too large: %.2f / %.2f",
+			stats.Mean(errA), stats.Mean(errB))
+	}
+}
+
+func TestMultiTrackerIndependentWarmStarts(t *testing.T) {
+	// Target B's localizations must not perturb target A's estimates: A
+	// alone and A alongside B give identical results.
+	cfg := defaultConfig(9)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+
+	run := func(withB bool) []geom.Point {
+		m, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := randx.New(2)
+		var out []geom.Point
+		for i := 0; i < 15; i++ {
+			posA := geom.Pt(30+float64(i), 40)
+			gA := s.Sample(posA, cfg.SamplingTimes, rng.SplitN("a", i))
+			if withB {
+				gB := s.Sample(geom.Pt(70, 60), cfg.SamplingTimes, rng.SplitN("b", i))
+				if _, err := m.LocalizeGroup("b", gB); err != nil {
+					t.Fatal(err)
+				}
+			}
+			eA, err := m.LocalizeGroup("a", gA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, eA.Pos)
+		}
+		return out
+	}
+	alone, together := run(false), run(true)
+	for i := range alone {
+		if alone[i] != together[i] {
+			t.Fatalf("target A perturbed by target B at step %d", i)
+		}
+	}
+}
+
+func TestMultiTrackerForget(t *testing.T) {
+	cfg := defaultConfig(9)
+	m, _ := NewMulti(cfg)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range}
+	g := s.Sample(geom.Pt(50, 50), cfg.SamplingTimes, randx.New(3))
+	if _, err := m.LocalizeGroup("x", g); err != nil {
+		t.Fatal(err)
+	}
+	m.Forget("x")
+	if len(m.Targets()) != 0 {
+		t.Errorf("Targets after Forget = %v", m.Targets())
+	}
+}
+
+func TestMultiTrackerEmptyID(t *testing.T) {
+	cfg := defaultConfig(9)
+	m, _ := NewMulti(cfg)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes}
+	g := s.Sample(geom.Pt(50, 50), cfg.SamplingTimes, randx.New(4))
+	if _, err := m.LocalizeGroup("", g); err == nil {
+		t.Error("empty target ID should fail")
+	}
+}
+
+func TestMultiTrackerSharesDivision(t *testing.T) {
+	cfg := defaultConfig(9)
+	m, _ := NewMulti(cfg)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes}
+	for _, id := range []string{"a", "b", "c"} {
+		g := s.Sample(geom.Pt(50, 50), cfg.SamplingTimes, randx.New(5))
+		if _, err := m.LocalizeGroup(id, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All per-target trackers point at the same division.
+	div := m.Division()
+	for id, tr := range m.trackers {
+		if tr.Division() != div {
+			t.Errorf("target %s has its own division", id)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/randx"
+	"fttt/internal/stats"
+)
+
+func TestMethodString(t *testing.T) {
+	cases := map[Method]string{
+		FTTTBasic: "FTTT", FTTTExtended: "FTTT-ext", PM: "PM", DirectMLE: "DirectMLE",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method should still print")
+	}
+}
+
+func TestScenarioSharedGroups(t *testing.T) {
+	// All methods must see identical samples: two Run calls on the same
+	// scenario reuse the pre-drawn groups.
+	p := Quick()
+	s, err := newScenario(p, 8, false, randx.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(FTTTBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(FTTTBasic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a[FTTTBasic] {
+		if a[FTTTBasic][i] != b[FTTTBasic][i] {
+			t.Fatal("re-running the same scenario changed estimates")
+		}
+	}
+}
+
+func TestScenarioLengths(t *testing.T) {
+	p := Quick()
+	s, err := newScenario(p, 6, true, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(p.Duration/p.LocPeriod) + 1
+	if len(s.trace) != want || len(s.times) != want || len(s.groups) != want {
+		t.Errorf("lengths %d/%d/%d, want %d", len(s.trace), len(s.times), len(s.groups), want)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	p := Quick()
+	r, err := Fig10(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GridNodes) != 16 || len(r.RandomNodes) != 10 {
+		t.Errorf("node counts %d/%d", len(r.GridNodes), len(r.RandomNodes))
+	}
+	for _, ts := range []TrackedSeries{r.GridPM, r.GridFTTT, r.RandomPM, r.RandomFTTT} {
+		if len(ts.Estimates) != len(ts.True) || len(ts.Errors) != len(ts.True) {
+			t.Fatalf("series length mismatch for %v", ts.Method)
+		}
+		if math.IsNaN(ts.Summary.Mean) {
+			t.Fatalf("NaN summary for %v", ts.Method)
+		}
+	}
+	// Paper's headline: FTTT beats PM in both deployments.
+	if r.GridFTTT.Summary.Mean >= r.GridPM.Summary.Mean {
+		t.Errorf("grid: FTTT %.2f should beat PM %.2f",
+			r.GridFTTT.Summary.Mean, r.GridPM.Summary.Mean)
+	}
+	if r.RandomFTTT.Summary.Mean >= r.RandomPM.Summary.Mean {
+		t.Errorf("random: FTTT %.2f should beat PM %.2f",
+			r.RandomFTTT.Summary.Mean, r.RandomPM.Summary.Mean)
+	}
+}
+
+func TestFig11aOrdering(t *testing.T) {
+	p := Quick()
+	p.Duration = 20
+	r, err := Fig11a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("got %d series", len(r.Series))
+	}
+	fttt := stats.Mean(r.Series[FTTTBasic])
+	pm := stats.Mean(r.Series[PM])
+	mle := stats.Mean(r.Series[DirectMLE])
+	// Paper: FTTT clearly best. PM vs Direct MLE ordering is noisier at
+	// small scale, so only assert FTTT's lead.
+	if !(fttt < pm && fttt < mle) {
+		t.Errorf("FTTT %.2f should beat PM %.2f and DirectMLE %.2f", fttt, pm, mle)
+	}
+}
+
+func TestFig11bcShape(t *testing.T) {
+	p := Quick()
+	p.Trials = 1
+	p.Duration = 10
+	rows, err := sweepN(p, []int{5, 20}, []Method{FTTTBasic, PM, DirectMLE}, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// More sensors reduce FTTT error (paper Fig. 11(b)).
+	if rows[1].Mean[FTTTBasic] >= rows[0].Mean[FTTTBasic] {
+		t.Errorf("FTTT error should fall with n: %v → %v",
+			rows[0].Mean[FTTTBasic], rows[1].Mean[FTTTBasic])
+	}
+	// FTTT beats baselines at n=20.
+	if rows[1].Mean[FTTTBasic] >= rows[1].Mean[PM] {
+		t.Errorf("FTTT %.2f should beat PM %.2f at n=20",
+			rows[1].Mean[FTTTBasic], rows[1].Mean[PM])
+	}
+}
+
+func TestFig12aResolutionTrend(t *testing.T) {
+	// The ε effect is mild under the split-noise model (EXPERIMENTS.md),
+	// so run at the scale where it is visible (n=25, fine cells) and
+	// assert direction with tolerance: fine resolution must not be
+	// clearly worse than coarse.
+	p := Default()
+	p.Duration = 20
+	p.Trials = 3
+	rows, err := fig12aSweep(p, []float64{0.5, 3}, []int{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	fine, coarse := rows[0].MeanErr[25], rows[1].MeanErr[25]
+	if fine > coarse*1.1 {
+		t.Errorf("mean error at ε=0.5 (%.2f) should be ≲ ε=3 (%.2f)", fine, coarse)
+	}
+}
+
+func TestFig12bMoreSamplesHelp(t *testing.T) {
+	// Same tolerance treatment for the k trend, visible at n ≥ 25.
+	p := Default()
+	p.Duration = 20
+	p.Trials = 3
+	rows, err := fig12bSweep(p, []int{25}, []int{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, k9 := rows[0].MeanErr[3], rows[0].MeanErr[9]
+	if k9 > k3*1.1 {
+		t.Errorf("k=9 error %.2f should be ≲ k=3 %.2f", k9, k3)
+	}
+}
+
+func TestFig12aFullSweepStructure(t *testing.T) {
+	// The full driver returns the paper's complete grid; run it at toy
+	// scale to pin the output structure.
+	p := Quick()
+	p.Trials = 1
+	p.Duration = 4
+	rows, err := Fig12a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d ε rows, want 6", len(rows))
+	}
+	for _, row := range rows {
+		for _, n := range []int{10, 15, 20, 25} {
+			if math.IsNaN(row.MeanErr[n]) {
+				t.Fatalf("NaN at ε=%v n=%d", row.Epsilon, n)
+			}
+		}
+	}
+}
+
+func TestFig12cdExtendedReducesStdDev(t *testing.T) {
+	p := Quick()
+	p.Trials = 2
+	p.Duration = 15
+	rows, err := sweepN(p, []int{10, 20}, []Method{FTTTBasic, FTTTExtended}, "testcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 12(c,d): extended FTTT has similar mean and smaller (or
+	// similar) deviation. Assert it is never drastically worse.
+	for _, row := range rows {
+		if row.Mean[FTTTExtended] > row.Mean[FTTTBasic]*1.5 {
+			t.Errorf("n=%d: extended mean %.2f far above basic %.2f",
+				row.N, row.Mean[FTTTExtended], row.Mean[FTTTBasic])
+		}
+	}
+}
+
+func TestFig13Runs(t *testing.T) {
+	p := Quick()
+	p.Duration = 30
+	r, err := Fig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Nodes) != 9 {
+		t.Errorf("outdoor layout has %d nodes, want 9", len(r.Nodes))
+	}
+	if r.RoundsRun == 0 || r.ReportsArrived == 0 {
+		t.Fatalf("network delivered nothing: %+v", r)
+	}
+	if r.ReportsArrived > r.ReportsHeard {
+		t.Error("delivered more than heard")
+	}
+	if r.EnergySpent <= 0 {
+		t.Error("no energy accounted")
+	}
+	if len(r.Basic.Errors) != len(r.Extended.Errors) {
+		t.Error("series lengths differ")
+	}
+	// Both variants track: mean error within the field scale.
+	if r.Basic.Summary.Mean > 40 || r.Extended.Summary.Mean > 40 {
+		t.Errorf("outdoor tracking failed: basic %.1f ext %.1f",
+			r.Basic.Summary.Mean, r.Extended.Summary.Mean)
+	}
+}
+
+func TestSamplingTimesTheoryMatches(t *testing.T) {
+	p := Quick()
+	rows, k99 := SamplingTimes(p, 6, []int{2, 4, 6, 10}, 20000)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		// The paper's closed form uses exponent N-1 (upper bound of the
+		// exact independent-pairs probability, exponent N); empirical
+		// frequency must lie at or below theory, within noise, and
+		// converge to 1 as k grows.
+		if row.Empirical > row.Theory+0.02 {
+			t.Errorf("k=%d: empirical %.3f above theory %.3f", row.K, row.Empirical, row.Theory)
+		}
+	}
+	if rows[3].Theory < 0.99 {
+		t.Errorf("k=10 theory %.3f should be near 1", rows[3].Theory)
+	}
+	if k99 < 2 {
+		t.Errorf("k bound for λ=0.99 = %d", k99)
+	}
+}
+
+func TestErrorScalingMoreSamplesNoWorse(t *testing.T) {
+	p := Quick()
+	p.Trials = 1
+	p.Duration = 8
+	rows, err := ErrorScaling(p, []int{3, 9}, []int{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].MeanErr > rows[0].MeanErr*1.2 {
+		t.Errorf("k=9 error %.2f should not exceed k=3 %.2f by >20%%",
+			rows[1].MeanErr, rows[0].MeanErr)
+	}
+	if rows[0].Envelope <= rows[1].Envelope {
+		t.Error("envelope should shrink with k")
+	}
+}
+
+func TestMatchCostHeuristicCheaper(t *testing.T) {
+	p := Quick()
+	rows, err := MatchCost(p, []int{9, 16}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.HeuristicPer >= row.ExhaustivePer {
+			t.Errorf("n=%d: heuristic %v ≥ exhaustive %v faces/loc",
+				row.N, row.HeuristicPer, row.ExhaustivePer)
+		}
+		if row.Faces <= 0 || row.Links <= 0 {
+			t.Errorf("n=%d: empty division stats %+v", row.N, row)
+		}
+	}
+	// Exhaustive cost grows with n (face count grows).
+	if rows[1].ExhaustivePer <= rows[0].ExhaustivePer {
+		t.Error("exhaustive cost should grow with n")
+	}
+}
+
+func TestGridResolutionAblation(t *testing.T) {
+	p := Quick()
+	p.Trials = 1
+	p.Duration = 8
+	rows, err := GridResolution(p, 10, []float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Faces <= rows[1].Faces {
+		t.Errorf("finer grid should give more faces: %d vs %d", rows[0].Faces, rows[1].Faces)
+	}
+}
+
+func TestBoundaryAblationUncertainHelps(t *testing.T) {
+	p := Default()
+	p.Trials = 2
+	p.Duration = 15
+	rows, err := BoundaryAblation(p, []int{25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	// The paper's core claim: uncertain boundaries beat forcing certain
+	// decisions. Allow equality within 10% — at tiny scales the gap can
+	// narrow, but certain must not be clearly better.
+	if row.MeanEq3 > row.MeanCertain*1.1 {
+		t.Errorf("uncertain boundaries (%.2f) should not lose to certain (%.2f)",
+			row.MeanEq3, row.MeanCertain)
+	}
+	if math.IsNaN(row.MeanCalibrated) {
+		t.Error("calibrated boundary mean is NaN")
+	}
+}
+
+func TestDefaultAndQuickParams(t *testing.T) {
+	d := Default()
+	if d.Model.Beta != 4 || d.Model.SigmaX != 6 {
+		t.Errorf("Default model β=%v σ=%v, want Table 1's 4/6", d.Model.Beta, d.Model.SigmaX)
+	}
+	if d.Field.Width() != 100 || d.Field.Height() != 100 {
+		t.Error("Default field should be 100×100")
+	}
+	q := Quick()
+	if q.Duration >= d.Duration {
+		t.Error("Quick should be cheaper than Default")
+	}
+}

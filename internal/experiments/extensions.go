@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fttt/internal/deploy"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/stats"
+)
+
+// MethodComparisonRow extends Fig. 11(b,c) beyond the paper's three
+// strategies: every tracker in the repository on identical samples.
+type MethodComparisonRow struct {
+	N      int
+	Mean   map[Method]float64
+	StdDev map[Method]float64
+}
+
+// AllMethods lists every tracking strategy in comparison order.
+func AllMethods() []Method {
+	return []Method{
+		FTTTBasic, FTTTExtended, PM, DirectMLE,
+		WCL, PkNN, Trilateration, FTTTKalman, FTTTParticle,
+	}
+}
+
+// MethodComparison runs every method over a node-count sweep on shared
+// samples — the repository's headline comparison table.
+func MethodComparison(p Params, ns []int) ([]MethodComparisonRow, error) {
+	rows, err := sweepN(p, ns, AllMethods(), "method-comparison")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MethodComparisonRow, len(rows))
+	for i, r := range rows {
+		out[i] = MethodComparisonRow{N: r.N, Mean: r.Mean, StdDev: r.StdDev}
+	}
+	return out, nil
+}
+
+// MobilityRow compares trackers across target mobility models. PM's
+// velocity assumption is tuned to the random waypoint bounds, so motion
+// that pauses (dwell in one face) or drifts smoothly (Gauss-Markov)
+// probes how much each method leans on mobility assumptions — FTTT
+// imposes none (Sec. 2's "extra imposed conditions are not needed").
+type MobilityRow struct {
+	Model    string
+	FTTTMean float64
+	PMMean   float64
+}
+
+// MobilityRobustness runs FTTT and PM over three mobility models at
+// fixed n on shared samples.
+func MobilityRobustness(p Params, n int) ([]MobilityRow, error) {
+	root := randx.New(p.Seed).Split("mobility-robustness")
+	models := []struct {
+		name string
+		mk   func(rng *randx.Stream) (mobility.Model, error)
+	}{
+		{"random-waypoint", func(rng *randx.Stream) (mobility.Model, error) {
+			return mobility.RandomWaypoint(p.Field, p.VMin, p.VMax, p.Duration, rng), nil
+		}},
+		{"waypoint+pause", func(rng *randx.Stream) (mobility.Model, error) {
+			return mobility.RandomWaypointPause(p.Field, p.VMin, p.VMax, 5, p.Duration, rng), nil
+		}},
+		{"gauss-markov", func(rng *randx.Stream) (mobility.Model, error) {
+			return mobility.NewGaussMarkov(p.Field, (p.VMin+p.VMax)/2, 0.85, p.Duration, 0.1, rng)
+		}},
+	}
+	var rows []MobilityRow
+	for _, m := range models {
+		perMethod := make(map[Method][]float64)
+		for trial := 0; trial < p.Trials; trial++ {
+			rng := root.SplitN(m.name, trial)
+			dep := deploy.Random(p.Field, n, rng.Split("deploy"))
+			mob, err := m.mk(rng.Split("mobility"))
+			if err != nil {
+				return nil, err
+			}
+			s, err := newScenarioWithModel(p, dep.Positions(), mob, rng)
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Run(FTTTBasic, PM)
+			if err != nil {
+				return nil, err
+			}
+			for mm, e := range est {
+				perMethod[mm] = append(perMethod[mm], s.errorsOf(e)...)
+			}
+		}
+		rows = append(rows, MobilityRow{
+			Model:    m.name,
+			FTTTMean: stats.Mean(perMethod[FTTTBasic]),
+			PMMean:   stats.Mean(perMethod[PM]),
+		})
+	}
+	return rows, nil
+}
+
+// CoverageRow relates the deployment's sensing coverage to FTTT's error
+// at the same n — the knee of Fig. 11(b) coincides with 3-coverage
+// saturating.
+type CoverageRow struct {
+	N          int
+	Coverage1  float64 // fraction of field heard by ≥1 node
+	Coverage3  float64 // fraction heard by ≥3 nodes
+	MeanDegree float64 // mean number of nodes hearing a point
+	MeanErr    float64 // FTTT mean error at this n
+}
+
+// CoverageVsError sweeps n, measuring coverage (averaged over trials'
+// deployments) alongside the tracking error on the same scenarios.
+func CoverageVsError(p Params, ns []int) ([]CoverageRow, error) {
+	root := randx.New(p.Seed).Split("coverage")
+	var rows []CoverageRow
+	for _, n := range ns {
+		var cov1, cov3, deg, errs []float64
+		for trial := 0; trial < p.Trials; trial++ {
+			rng := root.SplitN("s", n*100+trial)
+			dep := deploy.Random(p.Field, n, rng.Split("deploy"))
+			cov1 = append(cov1, dep.Coverage(p.Range, 1, 2))
+			cov3 = append(cov3, dep.Coverage(p.Range, 3, 2))
+			deg = append(deg, dep.MeanDegree(p.Range, 2))
+
+			s, err := newScenarioWithModel(p, dep.Positions(),
+				mobility.RandomWaypoint(p.Field, p.VMin, p.VMax, p.Duration, rng.Split("mobility")),
+				rng)
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Run(FTTTBasic)
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, s.errorsOf(est[FTTTBasic])...)
+		}
+		rows = append(rows, CoverageRow{
+			N:          n,
+			Coverage1:  stats.Mean(cov1),
+			Coverage3:  stats.Mean(cov3),
+			MeanDegree: stats.Mean(deg),
+			MeanErr:    stats.Mean(errs),
+		})
+	}
+	return rows, nil
+}
+
+// IrregularityRow is the sensing-irregularity robustness sweep: FTTT and
+// the certain-sequence baseline under growing DOI. The paper's
+// introduction lists sensing irregularity among the uncertainty sources
+// FTTT tolerates; this experiment quantifies the claim.
+type IrregularityRow struct {
+	DOI      float64
+	FTTTMean float64
+	MLEMean  float64
+}
+
+// IrregularityRobustness sweeps the DOI at fixed n.
+func IrregularityRobustness(p Params, n int, dois []float64) ([]IrregularityRow, error) {
+	var rows []IrregularityRow
+	for _, doi := range dois {
+		pp := p
+		pp.DOI = doi
+		perMethod := make(map[Method][]float64)
+		for trial := 0; trial < p.Trials; trial++ {
+			s, err := newScenarioForSweep(pp, n, trial, "irregularity")
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Run(FTTTBasic, DirectMLE)
+			if err != nil {
+				return nil, err
+			}
+			for m, e := range est {
+				perMethod[m] = append(perMethod[m], s.errorsOf(e)...)
+			}
+		}
+		rows = append(rows, IrregularityRow{
+			DOI:      doi,
+			FTTTMean: stats.Mean(perMethod[FTTTBasic]),
+			MLEMean:  stats.Mean(perMethod[DirectMLE]),
+		})
+	}
+	return rows, nil
+}
+
+// SmoothingRow compares the two ways of getting a smooth trajectory: the
+// paper's extended FTTT (no mobility model) versus basic FTTT with
+// model-based output filters (Kalman, particle).
+type SmoothingRow struct {
+	N        int
+	Basic    stats.Summary
+	Extended stats.Summary
+	Kalman   stats.Summary
+	Particle stats.Summary
+}
+
+// Smoothing runs the four pipelines over shared samples.
+func Smoothing(p Params, ns []int) ([]SmoothingRow, error) {
+	methods := []Method{FTTTBasic, FTTTExtended, FTTTKalman, FTTTParticle}
+	rows := make([]SmoothingRow, 0, len(ns))
+	for _, n := range ns {
+		perMethod := make(map[Method][]float64)
+		for trial := 0; trial < p.Trials; trial++ {
+			s, err := newScenarioForSweep(p, n, trial, "smoothing")
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Run(methods...)
+			if err != nil {
+				return nil, err
+			}
+			for m, e := range est {
+				perMethod[m] = append(perMethod[m], s.errorsOf(e)...)
+			}
+		}
+		rows = append(rows, SmoothingRow{
+			N:        n,
+			Basic:    stats.Summarize(perMethod[FTTTBasic]),
+			Extended: stats.Summarize(perMethod[FTTTExtended]),
+			Kalman:   stats.Summarize(perMethod[FTTTKalman]),
+			Particle: stats.Summarize(perMethod[FTTTParticle]),
+		})
+	}
+	return rows, nil
+}

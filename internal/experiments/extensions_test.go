@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllMethodsDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range AllMethods() {
+		name := m.String()
+		if seen[name] {
+			t.Fatalf("duplicate method name %q", name)
+		}
+		seen[name] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("expected 9 methods, got %d", len(seen))
+	}
+}
+
+func TestMethodComparisonRuns(t *testing.T) {
+	p := Quick()
+	p.Trials = 1
+	p.Duration = 8
+	rows, err := MethodComparison(p, []int{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	row := rows[0]
+	for _, m := range AllMethods() {
+		if math.IsNaN(row.Mean[m]) || row.Mean[m] <= 0 {
+			t.Errorf("%v mean = %v", m, row.Mean[m])
+		}
+		if math.IsNaN(row.StdDev[m]) {
+			t.Errorf("%v stddev NaN", m)
+		}
+	}
+}
+
+func TestMethodComparisonFTTTCompetitive(t *testing.T) {
+	p := Default()
+	p.Trials = 2
+	p.Duration = 15
+	rows, err := MethodComparison(p, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	// FTTT must beat the certain-sequence baselines (the paper's claim)
+	// and at least match the naive geometric ones.
+	if row.Mean[FTTTBasic] >= row.Mean[PM] {
+		t.Errorf("FTTT %.2f should beat PM %.2f", row.Mean[FTTTBasic], row.Mean[PM])
+	}
+	if row.Mean[FTTTBasic] >= row.Mean[DirectMLE] {
+		t.Errorf("FTTT %.2f should beat DirectMLE %.2f", row.Mean[FTTTBasic], row.Mean[DirectMLE])
+	}
+}
+
+func TestSmoothingReducesDeviation(t *testing.T) {
+	p := Default()
+	p.Trials = 2
+	p.Duration = 20
+	rows, err := Smoothing(p, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	// At least one smoothing pipeline (extended, Kalman or particle)
+	// should reduce the error standard deviation relative to raw basic
+	// FTTT — the motivation for both Sec. 6 and the filter package.
+	best := math.Min(row.Extended.StdDev, math.Min(row.Kalman.StdDev, row.Particle.StdDev))
+	if best >= row.Basic.StdDev {
+		t.Errorf("no smoother reduced stddev: basic=%.2f ext=%.2f kf=%.2f pf=%.2f",
+			row.Basic.StdDev, row.Extended.StdDev, row.Kalman.StdDev, row.Particle.StdDev)
+	}
+	// Smoothers must not blow up the mean either.
+	for name, s := range map[string]float64{
+		"ext": row.Extended.Mean, "kf": row.Kalman.Mean, "pf": row.Particle.Mean,
+	} {
+		if s > row.Basic.Mean*1.6 {
+			t.Errorf("%s mean %.2f far above basic %.2f", name, s, row.Basic.Mean)
+		}
+	}
+}
+
+func TestEstimatorAblation(t *testing.T) {
+	p := Quick()
+	p.Trials = 2
+	p.Duration = 10
+	rows, err := EstimatorAblation(p, 15, []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.MeanErr) || row.MeanErr <= 0 {
+			t.Errorf("M=%d mean = %v", row.M, row.MeanErr)
+		}
+	}
+	// Averaging over candidates must not be drastically worse than argmax.
+	if rows[1].MeanErr > rows[0].MeanErr*1.3 {
+		t.Errorf("top-5 mean %.2f far above argmax %.2f", rows[1].MeanErr, rows[0].MeanErr)
+	}
+}
+
+func TestIrregularityRobustness(t *testing.T) {
+	p := Quick()
+	p.Trials = 2
+	p.Duration = 10
+	rows, err := IrregularityRobustness(p, 15, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.FTTTMean) || math.IsNaN(row.MLEMean) {
+			t.Fatalf("NaN at DOI=%v", row.DOI)
+		}
+	}
+	// Strong irregularity should not collapse FTTT: bounded degradation.
+	if rows[1].FTTTMean > rows[0].FTTTMean*2.5 {
+		t.Errorf("FTTT degraded %.2f → %.2f under DOI", rows[0].FTTTMean, rows[1].FTTTMean)
+	}
+}
+
+func TestCoverageVsError(t *testing.T) {
+	p := Quick()
+	p.Trials = 2
+	p.Duration = 8
+	rows, err := CoverageVsError(p, []int{5, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	sparse, dense := rows[0], rows[1]
+	if sparse.Coverage1 > dense.Coverage1 || sparse.Coverage3 > dense.Coverage3 {
+		t.Errorf("coverage should grow with n: %+v vs %+v", sparse, dense)
+	}
+	if sparse.MeanDegree >= dense.MeanDegree {
+		t.Error("mean degree should grow with n")
+	}
+	if dense.MeanErr >= sparse.MeanErr {
+		t.Errorf("error should fall as coverage saturates: %.2f vs %.2f",
+			dense.MeanErr, sparse.MeanErr)
+	}
+	// The knee story: 3-coverage at n=25, R=40 should be near complete.
+	if dense.Coverage3 < 0.9 {
+		t.Errorf("3-coverage at n=25 = %.2f, expected ≈1", dense.Coverage3)
+	}
+}
+
+func TestMobilityRobustness(t *testing.T) {
+	p := Quick()
+	p.Trials = 2
+	p.Duration = 12
+	rows, err := MobilityRobustness(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.FTTTMean) || math.IsNaN(row.PMMean) {
+			t.Fatalf("NaN for model %s", row.Model)
+		}
+		// FTTT should hold up on every mobility model.
+		if row.FTTTMean > row.PMMean*1.2 {
+			t.Errorf("%s: FTTT %.2f should not lose clearly to PM %.2f",
+				row.Model, row.FTTTMean, row.PMMean)
+		}
+	}
+}

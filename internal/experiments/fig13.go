@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/stats"
+	"fttt/internal/wsnnet"
+)
+
+// Fig13Result reproduces the outdoor system evaluation of Sec. 7.3:
+// 9 motes in a cross "+" layout track a target walking a "⊔"-shaped
+// trace at 1-5 m/s, with reports carried to the base station by the
+// simulated WSN substrate (DESIGN.md §2 substitution for the Crossbow
+// IRIS testbed).
+type Fig13Result struct {
+	Nodes       []geom.Point
+	BaseStation geom.Point
+	Basic       TrackedSeries // Fig. 13(c)
+	Extended    TrackedSeries // Fig. 13(d)
+	// Network substrate statistics over all rounds.
+	RoundsRun      int
+	ReportsHeard   int
+	ReportsArrived int
+	EnergySpent    float64
+	MeanHops       float64
+}
+
+// Fig13 runs the outdoor-system reproduction.
+func Fig13(p Params) (*Fig13Result, error) {
+	root := randx.New(p.Seed).Split("fig13")
+
+	dep := deploy.Cross(p.Field, 9, 30)
+	// The base station sits just off the cross, as in the playground
+	// deployment; it must be inside the comm range of at least the inner
+	// nodes or every report dies in a routing void.
+	bs := geom.Pt(p.Field.Min.X+30, p.Field.Min.Y+30)
+	waypoints := mobility.SquareWave(p.Field, 25)
+	mob := mobility.VariableSpeedWaypoints(waypoints, p.VMin, p.VMax, root.Split("walk"))
+	dur, _ := mobility.Duration(mob)
+	if p.Duration > 0 && dur > p.Duration {
+		dur = p.Duration
+	}
+
+	net, err := wsnnet.New(wsnnet.Config{
+		Nodes:        dep.Positions(),
+		BaseStation:  bs,
+		Model:        p.Model,
+		SensingRange: p.Range,
+		CommRange:    45,
+		HopLoss:      0.05,
+		HopDelay:     0.002,
+		ReportBits:   256,
+		Epsilon:      p.Epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	mkTracker := func(variant core.Variant) (*core.Tracker, error) {
+		return core.New(core.Config{
+			Field:         p.Field,
+			Nodes:         dep.Positions(),
+			Model:         p.Model,
+			Epsilon:       p.Epsilon,
+			SamplingTimes: p.K,
+			Range:         p.Range,
+			CellSize:      p.CellSize,
+			Variant:       variant,
+		})
+	}
+	basicTr, err := mkTracker(core.Basic)
+	if err != nil {
+		return nil, err
+	}
+	extTr, err := core.NewWithDivision(func() core.Config {
+		c := basicTr.Config()
+		c.Variant = core.Extended
+		return c
+	}(), basicTr.Division())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig13Result{Nodes: dep.Positions(), BaseStation: bs}
+	locRate := 1 / p.LocPeriod
+	tps := mobility.Sample(mob, dur, locRate)
+
+	times := make([]float64, len(tps))
+	truth := make([]geom.Point, len(tps))
+	basicEst := make([]geom.Point, len(tps))
+	extEst := make([]geom.Point, len(tps))
+	rounds := root.Split("rounds")
+	for i, tp := range tps {
+		g, st := net.CollectRound(tp.Pos, p.K, rounds.SplitN("r", i))
+		res.RoundsRun++
+		res.ReportsHeard += st.Heard
+		res.ReportsArrived += st.Delivered
+		res.EnergySpent += st.EnergySpent
+		times[i] = tp.T
+		truth[i] = tp.Pos
+		basicEst[i] = basicTr.LocalizeGroup(g).Pos
+		extEst[i] = extTr.LocalizeGroup(g).Pos
+	}
+	res.MeanHops = net.MeanHopCount()
+
+	mkSeries := func(m Method, est []geom.Point) TrackedSeries {
+		errs := make([]float64, len(est))
+		for i := range est {
+			errs[i] = est[i].Dist(truth[i])
+		}
+		return TrackedSeries{
+			Method:    m,
+			Times:     times,
+			True:      truth,
+			Estimates: est,
+			Errors:    errs,
+			Summary:   stats.Summarize(errs),
+		}
+	}
+	res.Basic = mkSeries(FTTTBasic, basicEst)
+	res.Extended = mkSeries(FTTTExtended, extEst)
+	return res, nil
+}

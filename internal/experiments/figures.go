@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/stats"
+)
+
+// TrackedSeries is one method's estimates against the shared truth.
+type TrackedSeries struct {
+	Method    Method
+	Times     []float64
+	True      []geom.Point
+	Estimates []geom.Point
+	Errors    []float64
+	Summary   stats.Summary
+}
+
+func newTrackedSeries(m Method, s *scenario, est []geom.Point) TrackedSeries {
+	errs := s.errorsOf(est)
+	return TrackedSeries{
+		Method:    m,
+		Times:     s.times,
+		True:      s.trace,
+		Estimates: est,
+		Errors:    errs,
+		Summary:   stats.Summarize(errs),
+	}
+}
+
+// Fig10Result reproduces Fig. 10: the estimated position points of PM and
+// FTTT under a grid deployment (a, b) and a random deployment (c, d).
+type Fig10Result struct {
+	GridPM      TrackedSeries // Fig. 10(a)
+	GridFTTT    TrackedSeries // Fig. 10(b)
+	RandomPM    TrackedSeries // Fig. 10(c)
+	RandomFTTT  TrackedSeries // Fig. 10(d)
+	GridNodes   []geom.Point
+	RandomNodes []geom.Point
+}
+
+// Fig10 runs the tracking example of Sec. 7.1 (k=5, ε=1).
+func Fig10(p Params) (*Fig10Result, error) {
+	p.K = 5
+	p.Epsilon = 1
+	root := randx.New(p.Seed).Split("fig10")
+
+	grid, err := newScenario(p, 16, true, root.Split("grid"))
+	if err != nil {
+		return nil, err
+	}
+	gridEst, err := grid.Run(PM, FTTTBasic)
+	if err != nil {
+		return nil, err
+	}
+	random, err := newScenario(p, 10, false, root.Split("random"))
+	if err != nil {
+		return nil, err
+	}
+	randomEst, err := random.Run(PM, FTTTBasic)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{
+		GridPM:      newTrackedSeries(PM, grid, gridEst[PM]),
+		GridFTTT:    newTrackedSeries(FTTTBasic, grid, gridEst[FTTTBasic]),
+		RandomPM:    newTrackedSeries(PM, random, randomEst[PM]),
+		RandomFTTT:  newTrackedSeries(FTTTBasic, random, randomEst[FTTTBasic]),
+		GridNodes:   grid.nodes,
+		RandomNodes: random.nodes,
+	}, nil
+}
+
+// Fig11aResult reproduces Fig. 11(a): dynamic tracking error along the
+// time series for FTTT, PM and Direct MLE (k=5, ε=1, n=10).
+type Fig11aResult struct {
+	Times  []float64
+	Series map[Method][]float64
+}
+
+// Fig11a runs the dynamic-error comparison.
+func Fig11a(p Params) (*Fig11aResult, error) {
+	p.K = 5
+	p.Epsilon = 1
+	root := randx.New(p.Seed).Split("fig11a")
+	s, err := newScenario(p, 10, false, root)
+	if err != nil {
+		return nil, err
+	}
+	est, err := s.Run(FTTTBasic, PM, DirectMLE)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig11aResult{Times: s.times, Series: make(map[Method][]float64)}
+	for m, e := range est {
+		out.Series[m] = s.errorsOf(e)
+	}
+	return out, nil
+}
+
+// SweepRow is one point of a mean/stddev-versus-n sweep.
+type SweepRow struct {
+	N      int
+	Mean   map[Method]float64
+	StdDev map[Method]float64
+}
+
+// Fig11bc reproduces Fig. 11(b) and (c): mean tracking error and its
+// standard deviation versus the number of randomly deployed sensor nodes
+// (5..40; k=5, ε=1), for FTTT, PM and Direct MLE. Each row averages
+// p.Trials independent deployments and traces.
+func Fig11bc(p Params) ([]SweepRow, error) {
+	return sweepN(p, []int{5, 10, 15, 20, 25, 30, 35, 40},
+		[]Method{FTTTBasic, PM, DirectMLE}, "fig11bc")
+}
+
+// Fig12cdRow is kept structurally identical to SweepRow; Fig. 12(c,d)
+// compares the Basic and Extended FTTT variants.
+// Fig12cd reproduces Fig. 12(c) and (d) (k=5, ε=1).
+func Fig12cd(p Params) ([]SweepRow, error) {
+	return sweepN(p, []int{10, 15, 20, 25, 30, 35, 40},
+		[]Method{FTTTBasic, FTTTExtended}, "fig12cd")
+}
+
+// sweepN runs the given methods over a node-count sweep. Trials are
+// independent (each derives its own random substream), so they run
+// concurrently; means and deviations are order-independent, keeping the
+// output deterministic.
+func sweepN(p Params, ns []int, methods []Method, label string) ([]SweepRow, error) {
+	root := randx.New(p.Seed).Split(label)
+	rows := make([]SweepRow, 0, len(ns))
+	for _, n := range ns {
+		n := n
+		perMethod, err := parallelTrials(p.Trials, func(trial int) (map[Method][]float64, error) {
+			s, err := newScenario(p, n, false, root.SplitN(label, n*1000+trial))
+			if err != nil {
+				return nil, err
+			}
+			est, err := s.Run(methods...)
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[Method][]float64, len(est))
+			for m, e := range est {
+				out[m] = s.errorsOf(e)
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := SweepRow{
+			N:      n,
+			Mean:   make(map[Method]float64),
+			StdDev: make(map[Method]float64),
+		}
+		for _, m := range methods {
+			row.Mean[m] = stats.Mean(perMethod[m])
+			row.StdDev[m] = stats.StdDev(perMethod[m])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// parallelTrials runs fn for each trial concurrently (bounded by GOMAXPROCS)
+// and merges the per-method error slices. The first error wins.
+func parallelTrials(trials int, fn func(trial int) (map[Method][]float64, error)) (map[Method][]float64, error) {
+	type result struct {
+		errs map[Method][]float64
+		err  error
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	results := make([]result, trials)
+	var wg sync.WaitGroup
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs, err := fn(trial)
+			results[trial] = result{errs: errs, err: err}
+		}()
+	}
+	wg.Wait()
+	merged := make(map[Method][]float64)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for m, e := range r.errs {
+			merged[m] = append(merged[m], e...)
+		}
+	}
+	return merged, nil
+}
+
+// Fig12aRow is one sensing-resolution sweep point.
+type Fig12aRow struct {
+	Epsilon float64
+	// MeanErr[n] is FTTT's mean error with n randomly deployed nodes.
+	MeanErr map[int]float64
+}
+
+// Fig12a reproduces Fig. 12(a): FTTT mean error versus sensing resolution
+// ε (0.5..3 dBm) for n ∈ {10, 15, 20, 25} (k=5).
+func Fig12a(p Params) ([]Fig12aRow, error) {
+	return fig12aSweep(p, []float64{0.5, 1, 1.5, 2, 2.5, 3}, []int{10, 15, 20, 25})
+}
+
+// fig12aSweep is Fig12a with explicit sweep lists (trimmed in tests).
+func fig12aSweep(p Params, epsilons []float64, ns []int) ([]Fig12aRow, error) {
+	p.K = 5
+	root := randx.New(p.Seed).Split("fig12a")
+	rows := make([]Fig12aRow, 0, len(epsilons))
+	for _, eps := range epsilons {
+		row := Fig12aRow{Epsilon: eps, MeanErr: make(map[int]float64)}
+		for _, n := range ns {
+			n, eps := n, eps
+			merged, err := parallelTrials(p.Trials, func(trial int) (map[Method][]float64, error) {
+				pp := p
+				pp.Epsilon = eps
+				s, err := newScenario(pp, n, false, root.SplitN("s", int(eps*10)*100000+n*100+trial))
+				if err != nil {
+					return nil, err
+				}
+				est, err := s.Run(FTTTBasic)
+				if err != nil {
+					return nil, err
+				}
+				return map[Method][]float64{FTTTBasic: s.errorsOf(est[FTTTBasic])}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.MeanErr[n] = stats.Mean(merged[FTTTBasic])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig12bRow is one sampling-times sweep point.
+type Fig12bRow struct {
+	N int
+	// MeanErr[k] is FTTT's mean error with grouping sampling times k.
+	MeanErr map[int]float64
+}
+
+// Fig12b reproduces Fig. 12(b): FTTT mean error versus the number of
+// sensor nodes (10..40) under sampling times k ∈ {3, 5, 7, 9} (ε=1).
+func Fig12b(p Params) ([]Fig12bRow, error) {
+	return fig12bSweep(p, []int{10, 15, 20, 25, 30, 35, 40}, []int{3, 5, 7, 9})
+}
+
+// fig12bSweep is Fig12b with explicit sweep lists (trimmed in tests).
+func fig12bSweep(p Params, ns, ks []int) ([]Fig12bRow, error) {
+	p.Epsilon = 1
+	root := randx.New(p.Seed).Split("fig12b")
+	rows := make([]Fig12bRow, 0, len(ns))
+	for _, n := range ns {
+		row := Fig12bRow{N: n, MeanErr: make(map[int]float64)}
+		for _, k := range ks {
+			n, k := n, k
+			merged, err := parallelTrials(p.Trials, func(trial int) (map[Method][]float64, error) {
+				pp := p
+				pp.K = k
+				s, err := newScenario(pp, n, false, root.SplitN("s", k*100000+n*100+trial))
+				if err != nil {
+					return nil, err
+				}
+				est, err := s.Run(FTTTBasic)
+				if err != nil {
+					return nil, err
+				}
+				return map[Method][]float64{FTTTBasic: s.errorsOf(est[FTTTBasic])}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.MeanErr[k] = stats.Mean(merged[FTTTBasic])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

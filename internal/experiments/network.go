@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"math"
+
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/sampling"
+	"fttt/internal/wsnnet"
+)
+
+// LifetimeRow compares the network lifetime (tracking rounds until the
+// first node exhausts its battery, and until 25% have) of the flat
+// greedy-forwarding topology against the clustered/aggregating one.
+type LifetimeRow struct {
+	Topology        string
+	RoundsToFirst   int
+	RoundsToQuarter int
+	EnergyPerRound  float64 // mean joules per round before first death
+	DeliveredFrac   float64 // reports delivered / heard over the run
+}
+
+// NetworkLifetime runs both topologies on the same deployment with a
+// small battery until a quarter of the nodes die (or maxRounds).
+func NetworkLifetime(p Params, n, clusterK, maxRounds int, battery float64) ([]LifetimeRow, error) {
+	dep := deploy.Random(p.Field, n, randx.New(p.Seed).Split("lifetime-deploy"))
+	bs := geom.Pt(p.Field.Min.X+5, p.Field.Min.Y+5)
+	mk := func() (*wsnnet.Network, error) {
+		return wsnnet.New(wsnnet.Config{
+			Nodes:         dep.Positions(),
+			BaseStation:   bs,
+			Model:         p.Model,
+			SensingRange:  p.Range,
+			CommRange:     50,
+			HopLoss:       0.02,
+			HopDelay:      0.002,
+			ReportBits:    256,
+			Epsilon:       p.Epsilon,
+			InitialEnergy: battery,
+		})
+	}
+	targetAt := func(round int) geom.Point {
+		// A slow circular patrol keeps the load spatially varied.
+		theta := float64(round) * 0.05
+		c := p.Field.Center()
+		return p.Field.Clamp(geom.Pt(c.X+25*math.Cos(theta), c.Y+25*math.Sin(theta)))
+	}
+
+	run := func(clustered bool) (LifetimeRow, error) {
+		net, err := mk()
+		if err != nil {
+			return LifetimeRow{}, err
+		}
+		var cl *wsnnet.Clusters
+		name := "flat-greedy"
+		if clustered {
+			cl, err = net.FormClusters(clusterK)
+			if err != nil {
+				return LifetimeRow{}, err
+			}
+			name = "clustered"
+		}
+		rng := randx.New(p.Seed).Split("lifetime-run")
+		row := LifetimeRow{Topology: name}
+		heard, delivered := 0, 0
+		var energyAtFirst float64
+		quarter := n - n/4
+		for round := 0; round < maxRounds; round++ {
+			var st wsnnet.RoundStats
+			if clustered {
+				_, st = net.CollectRoundClustered(targetAt(round), p.K, cl, rng.SplitN("r", round))
+			} else {
+				_, st = net.CollectRound(targetAt(round), p.K, rng.SplitN("r", round))
+			}
+			heard += st.Heard
+			delivered += st.Delivered
+			alive := net.AliveCount()
+			if row.RoundsToFirst == 0 && alive < n {
+				row.RoundsToFirst = round + 1
+				energyAtFirst = sum(net.Energy)
+			}
+			if alive <= quarter {
+				row.RoundsToQuarter = round + 1
+				break
+			}
+		}
+		if row.RoundsToFirst == 0 {
+			row.RoundsToFirst = maxRounds
+		}
+		if row.RoundsToQuarter == 0 {
+			row.RoundsToQuarter = maxRounds
+		}
+		row.EnergyPerRound = energyAtFirst / float64(row.RoundsToFirst)
+		if heard > 0 {
+			row.DeliveredFrac = float64(delivered) / float64(heard)
+		}
+		return row, nil
+	}
+
+	flat, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	clustered, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []LifetimeRow{flat, clustered}, nil
+}
+
+// SyncAccuracyRow reports the residual clock offset of the [28]-style
+// beacon sync and the induced sampling-position displacement for the
+// fastest Table 1 target.
+type SyncAccuracyRow struct {
+	SyncPeriod  float64 // seconds between beacon floods
+	MaxOffset   float64 // worst |offset| observed between syncs
+	MaxPosError float64 // offset × v_max: worst induced position shift
+}
+
+// SyncAccuracy cycles sync/drift over a range of beacon periods.
+func SyncAccuracy(p Params, periods []float64) ([]SyncAccuracyRow, error) {
+	dep := deploy.Random(p.Field, 16, randx.New(p.Seed).Split("sync-deploy"))
+	net, err := wsnnet.New(wsnnet.Config{
+		Nodes:        dep.Positions(),
+		BaseStation:  geom.Pt(p.Field.Min.X+5, p.Field.Min.Y+5),
+		Model:        p.Model,
+		SensingRange: p.Range,
+		CommRange:    50,
+		HopDelay:     0.002,
+		ReportBits:   256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SyncAccuracyRow
+	for _, period := range periods {
+		cm, err := wsnnet.NewClockModel(net, 0.5, 80, 5e-5, randx.New(p.Seed).SplitN("clock", int(period*1000)))
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for cycle := 0; cycle < 20; cycle++ {
+			cm.Synchronize()
+			cm.Advance(period)
+			if o := cm.MaxAbsOffset(); o > worst {
+				worst = o
+			}
+		}
+		rows = append(rows, SyncAccuracyRow{
+			SyncPeriod:  period,
+			MaxOffset:   worst,
+			MaxPosError: worst * p.VMax,
+		})
+	}
+	return rows, nil
+}
+
+// DutyCycleRow compares always-on collection against tracking-driven
+// wake-up at one wake radius.
+type DutyCycleRow struct {
+	WakeRadius  float64 // 0 marks the always-on row
+	MeanErr     float64
+	EnergyTotal float64
+	AwakeFrac   float64 // awake / in-range over the run
+}
+
+// DutyCycling tracks a random-waypoint target through the WSN substrate
+// with FTTT, waking only nodes near the previous estimate. The wake
+// radius is swept; radius 0 encodes the always-on baseline.
+func DutyCycling(p Params, n int, radii []float64) ([]DutyCycleRow, error) {
+	root := randx.New(p.Seed).Split("duty-cycle")
+	dep := deploy.Random(p.Field, n, root.Split("deploy"))
+	mob := mobility.RandomWaypoint(p.Field, p.VMin, p.VMax, p.Duration, root.Split("mob"))
+	tps := mobility.Sample(mob, p.Duration, 1/p.LocPeriod)
+
+	cfg := core.Config{
+		Field:         p.Field,
+		Nodes:         dep.Positions(),
+		Model:         p.Model,
+		Epsilon:       p.Epsilon,
+		SamplingTimes: p.K,
+		Range:         p.Range,
+		CellSize:      p.CellSize,
+	}
+	base, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(radius float64) (DutyCycleRow, error) {
+		net, err := wsnnet.New(wsnnet.Config{
+			Nodes:        dep.Positions(),
+			BaseStation:  geom.Pt(p.Field.Min.X+5, p.Field.Min.Y+5),
+			Model:        p.Model,
+			SensingRange: p.Range,
+			CommRange:    50,
+			HopLoss:      0.02,
+			HopDelay:     0.002,
+			ReportBits:   256,
+			Epsilon:      p.Epsilon,
+		})
+		if err != nil {
+			return DutyCycleRow{}, err
+		}
+		tr, err := core.NewWithDivision(cfg, base.Division())
+		if err != nil {
+			return DutyCycleRow{}, err
+		}
+		rng := root.SplitN("run", int(radius))
+		row := DutyCycleRow{WakeRadius: radius}
+		var errSum float64
+		heard, asleep := 0, 0
+		focus := p.Field.Center()
+		for i, tp := range tps {
+			var g *sampling.Group
+			var st wsnnet.RoundStats
+			if radius > 0 {
+				g, st = net.CollectRoundFocused(tp.Pos, focus, radius, p.K, rng.SplitN("r", i))
+			} else {
+				g, st = net.CollectRound(tp.Pos, p.K, rng.SplitN("r", i))
+			}
+			est := tr.LocalizeGroup(g)
+			focus = est.Pos
+			errSum += est.Pos.Dist(tp.Pos)
+			heard += st.Heard
+			asleep += st.Asleep
+			row.EnergyTotal += st.EnergySpent
+		}
+		row.MeanErr = errSum / float64(len(tps))
+		if heard > 0 {
+			row.AwakeFrac = 1 - float64(asleep)/float64(heard)
+		}
+		return row, nil
+	}
+
+	rows := make([]DutyCycleRow, 0, len(radii)+1)
+	always, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, always)
+	for _, radius := range radii {
+		row, err := run(radius)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// MACRow compares delivery under a slotted-contention MAC for the flat
+// and clustered topologies at one contention-window size.
+type MACRow struct {
+	Slots              int // 0 = ideal MAC
+	FlatDelivered      float64
+	ClusteredDelivered float64
+}
+
+// MACContention sweeps the contention window, measuring the fraction of
+// heard reports delivered by each topology. TDMA inside clusters shields
+// member transmissions, so clustering should win under tight windows.
+func MACContention(p Params, n, clusterK, rounds int, slots []int) ([]MACRow, error) {
+	dep := deploy.Random(p.Field, n, randx.New(p.Seed).Split("mac-deploy"))
+	bs := geom.Pt(p.Field.Min.X+5, p.Field.Min.Y+5)
+	run := func(slotCount int, clustered bool) (float64, error) {
+		net, err := wsnnet.New(wsnnet.Config{
+			Nodes:           dep.Positions(),
+			BaseStation:     bs,
+			Model:           p.Model,
+			SensingRange:    p.Range,
+			CommRange:       50,
+			HopDelay:        0.002,
+			ReportBits:      256,
+			Epsilon:         p.Epsilon,
+			ContentionSlots: slotCount,
+		})
+		if err != nil {
+			return 0, err
+		}
+		var cl *wsnnet.Clusters
+		if clustered {
+			cl, err = net.FormClusters(clusterK)
+			if err != nil {
+				return 0, err
+			}
+		}
+		rng := randx.New(p.Seed).Split("mac-run")
+		heard, delivered := 0, 0
+		for round := 0; round < rounds; round++ {
+			pos := geom.Pt(
+				p.Field.Min.X+10+float64(round%5)*15,
+				p.Field.Min.Y+10+float64(round/5%5)*15,
+			)
+			var st wsnnet.RoundStats
+			if clustered {
+				_, st = net.CollectRoundClustered(pos, p.K, cl, rng.SplitN("r", round))
+			} else {
+				_, st = net.CollectRound(pos, p.K, rng.SplitN("r", round))
+			}
+			heard += st.Heard
+			delivered += st.Delivered
+		}
+		if heard == 0 {
+			return 0, nil
+		}
+		return float64(delivered) / float64(heard), nil
+	}
+	var rows []MACRow
+	for _, s := range slots {
+		flat, err := run(s, false)
+		if err != nil {
+			return nil, err
+		}
+		clustered, err := run(s, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MACRow{Slots: s, FlatDelivered: flat, ClusteredDelivered: clustered})
+	}
+	return rows, nil
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import "testing"
+
+func TestNetworkLifetimeClusteringHelps(t *testing.T) {
+	p := Quick()
+	rows, err := NetworkLifetime(p, 25, 5, 3000, 5e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	flat, clustered := rows[0], rows[1]
+	if flat.Topology != "flat-greedy" || clustered.Topology != "clustered" {
+		t.Fatalf("unexpected topologies: %q, %q", flat.Topology, clustered.Topology)
+	}
+	if flat.RoundsToFirst <= 0 || clustered.RoundsToFirst <= 0 {
+		t.Fatal("lifetimes must be positive")
+	}
+	// Aggregation must not spend more energy per round than flat.
+	if clustered.EnergyPerRound > flat.EnergyPerRound*1.05 {
+		t.Errorf("clustered energy/round %.3e should be ≤ flat %.3e",
+			clustered.EnergyPerRound, flat.EnergyPerRound)
+	}
+	if flat.DeliveredFrac <= 0 || clustered.DeliveredFrac <= 0 {
+		t.Error("both topologies should deliver reports")
+	}
+}
+
+func TestSyncAccuracyGrowsWithPeriod(t *testing.T) {
+	p := Quick()
+	rows, err := SyncAccuracy(p, []float64{10, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].MaxOffset <= rows[0].MaxOffset {
+		t.Errorf("longer sync period should drift more: %.5f vs %.5f",
+			rows[1].MaxOffset, rows[0].MaxOffset)
+	}
+	for _, row := range rows {
+		if row.MaxPosError != row.MaxOffset*p.VMax {
+			t.Errorf("position error inconsistent at period %v", row.SyncPeriod)
+		}
+	}
+	// Even at 300 s between syncs, 80 ppm drift keeps the induced
+	// position error far below the tracking error scale — the Def. 3
+	// synchrony assumption is safe.
+	if rows[1].MaxPosError > 0.5 {
+		t.Errorf("induced position error %.3f m unexpectedly large", rows[1].MaxPosError)
+	}
+}
+
+func TestDutyCyclingSavesEnergy(t *testing.T) {
+	p := Quick()
+	p.Duration = 20
+	rows, err := DutyCycling(p, 25, []float64{40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	always, focused := rows[0], rows[1]
+	if always.WakeRadius != 0 || always.AwakeFrac != 1 {
+		t.Fatalf("baseline row wrong: %+v", always)
+	}
+	if focused.EnergyTotal >= always.EnergyTotal {
+		t.Errorf("duty cycling energy %.3e should be below always-on %.3e",
+			focused.EnergyTotal, always.EnergyTotal)
+	}
+	if focused.AwakeFrac >= 1 {
+		t.Error("focused run should have slept someone")
+	}
+	// Accuracy must not collapse (bounded degradation).
+	if focused.MeanErr > always.MeanErr*2+5 {
+		t.Errorf("duty cycling error %.2f vs always-on %.2f degraded too much",
+			focused.MeanErr, always.MeanErr)
+	}
+}
+
+func TestMACContention(t *testing.T) {
+	p := Quick()
+	rows, err := MACContention(p, 20, 4, 20, []int{0, 2, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	ideal, tight, wide := rows[0], rows[1], rows[2]
+	if ideal.FlatDelivered < wide.FlatDelivered {
+		t.Error("ideal MAC should deliver at least as much as 16 slots")
+	}
+	if tight.FlatDelivered >= wide.FlatDelivered {
+		t.Errorf("2 slots (%.2f) should deliver less than 16 (%.2f)",
+			tight.FlatDelivered, wide.FlatDelivered)
+	}
+	if tight.ClusteredDelivered <= tight.FlatDelivered {
+		t.Errorf("clustered TDMA (%.2f) should beat flat (%.2f) under tight contention",
+			tight.ClusteredDelivered, tight.FlatDelivered)
+	}
+}

@@ -1,0 +1,75 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. 7) plus the analytical results of Sec. 5. Each
+// exported Fig*/Table* function is a self-contained driver returning
+// structured rows/series; cmd/fttt-bench prints them and the root
+// benchmarks time them. DESIGN.md §4 maps each driver to its paper
+// artefact.
+package experiments
+
+import (
+	"fttt/internal/geom"
+	"fttt/internal/rf"
+)
+
+// Params collects the Table 1 system parameters plus harness knobs.
+type Params struct {
+	// Field is the monitor area (Table 1: 100×100 m²).
+	Field geom.Rect
+	// Model carries β and σ_X (Table 1: β=4, σ_X=6).
+	Model rf.Model
+	// Epsilon is the sensing resolution ε in dBm (Table 1: 0.5-3; the
+	// figures pin ε=1 unless swept).
+	Epsilon float64
+	// Range is the sensing range R (Table 1: 40 m).
+	Range float64
+	// SampleRate is the RSS sampling rate λ (Table 1: 10 Hz).
+	SampleRate float64
+	// LocPeriod is the time between consecutive localizations in
+	// seconds; each localization consumes one grouping sampling.
+	LocPeriod float64
+	// VMin, VMax bound the target velocity (Table 1: 1-5 m/s).
+	VMin, VMax float64
+	// K is the grouping sampling times (Table 1: 3-9; figures pin k=5).
+	K int
+	// Duration is the simulated tracking time (Sec. 7: 60 s).
+	Duration float64
+	// CellSize is the approximate grid division cell edge in metres.
+	CellSize float64
+	// DOI is the degree of sensing irregularity (dB per degree of
+	// azimuth); 0 disables per-node anisotropic gain.
+	DOI float64
+	// Trials is how many independent repetitions each sweep point
+	// averages over.
+	Trials int
+	// Seed roots all randomness; every trial derives a substream.
+	Seed uint64
+}
+
+// Default returns the paper's Table 1 settings with harness defaults
+// sized so the full suite runs in minutes on a laptop.
+func Default() Params {
+	return Params{
+		Field:      geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100)),
+		Model:      rf.Default(), // β=4, σ_X=6
+		Epsilon:    1,
+		Range:      40,
+		SampleRate: 10,
+		LocPeriod:  0.5,
+		VMin:       1,
+		VMax:       5,
+		K:          5,
+		Duration:   60,
+		CellSize:   2,
+		Trials:     5,
+		Seed:       1,
+	}
+}
+
+// Quick returns reduced-cost parameters for unit tests and smoke runs.
+func Quick() Params {
+	p := Default()
+	p.Duration = 12
+	p.Trials = 2
+	p.CellSize = 4
+	return p
+}

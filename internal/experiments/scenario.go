@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fttt/internal/baseline"
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/field"
+	"fttt/internal/filter"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// Method identifies a tracking strategy under comparison.
+type Method int
+
+// The strategies compared in Sec. 7, plus the extension methods
+// documented in DESIGN.md: classic range-free/range-based baselines and
+// FTTT with model-based output smoothers.
+const (
+	FTTTBasic Method = iota
+	FTTTExtended
+	PM
+	DirectMLE
+	WCL           // weighted centroid localization
+	PkNN          // probabilistic k-nearest-neighbour tracker [8]-style
+	Trilateration // range-based Gauss-Newton least squares
+	FTTTKalman    // basic FTTT + constant-velocity Kalman smoother
+	FTTTParticle  // basic FTTT + bootstrap particle smoother
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case FTTTBasic:
+		return "FTTT"
+	case FTTTExtended:
+		return "FTTT-ext"
+	case PM:
+		return "PM"
+	case DirectMLE:
+		return "DirectMLE"
+	case WCL:
+		return "WCL"
+	case PkNN:
+		return "PkNN"
+	case Trilateration:
+		return "Trilat"
+	case FTTTKalman:
+		return "FTTT+KF"
+	case FTTTParticle:
+		return "FTTT+PF"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// scenario bundles one deployment + trace and runs methods over identical
+// grouping samplings, the fairness requirement of a method comparison:
+// every method sees exactly the same noisy RSS matrices.
+type scenario struct {
+	p     Params
+	nodes []geom.Point
+	// trace and times are the true target positions at each localization
+	// instant.
+	trace []geom.Point
+	times []float64
+	// groups[i] is the grouping sampling collected at trace[i].
+	groups []*sampling.Group
+}
+
+// newScenario deploys nodes (random when grid is false), generates a
+// random-waypoint trace and pre-draws all grouping samplings.
+func newScenario(p Params, n int, grid bool, rng *randx.Stream) (*scenario, error) {
+	var dep deploy.Deployment
+	if grid {
+		dep = deploy.Grid(p.Field, n)
+	} else {
+		dep = deploy.Random(p.Field, n, rng.Split("deploy"))
+	}
+	m := mobility.RandomWaypoint(p.Field, p.VMin, p.VMax, p.Duration, rng.Split("mobility"))
+	return newScenarioWithModel(p, dep.Positions(), m, rng)
+}
+
+// newScenarioForSweep derives the deterministic per-(n, trial) substream
+// used by sweep drivers and builds a random-deployment scenario from it.
+func newScenarioForSweep(p Params, n, trial int, label string) (*scenario, error) {
+	root := randx.New(p.Seed).Split(label)
+	return newScenario(p, n, false, root.SplitN(label, n*1000+trial))
+}
+
+// newScenarioWithModel is newScenario with an externally supplied
+// deployment and mobility model (used by Fig. 10's fixed layouts and
+// Fig. 13's outdoor trace).
+func newScenarioWithModel(p Params, nodes []geom.Point, m mobility.Model, rng *randx.Stream) (*scenario, error) {
+	if p.LocPeriod <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive localization period %v", p.LocPeriod)
+	}
+	locRate := 1 / p.LocPeriod
+	tps := mobility.Sample(m, p.Duration, locRate)
+	s := &scenario{p: p, nodes: nodes}
+	s.trace = make([]geom.Point, len(tps))
+	s.times = make([]float64, len(tps))
+	for i, tp := range tps {
+		s.trace[i] = tp.Pos
+		s.times[i] = tp.T
+	}
+	sampler := &sampling.Sampler{Model: p.Model, Nodes: nodes, Range: p.Range, Epsilon: p.Epsilon}
+	if p.DOI > 0 {
+		irr := make([]*rf.Irregularity, len(nodes))
+		doiRng := rng.Split("doi")
+		for i := range irr {
+			ir, err := rf.NewIrregularity(p.DOI, 64, doiRng.SplitN("node", i))
+			if err != nil {
+				return nil, err
+			}
+			irr[i] = ir
+		}
+		sampler.Irregularity = irr
+	}
+	s.groups = make([]*sampling.Group, len(s.trace))
+	g := rng.Split("groups")
+	for i, pos := range s.trace {
+		s.groups[i] = sampler.Sample(pos, p.K, g.SplitN("loc", i))
+	}
+	return s, nil
+}
+
+// divisions builds the two field divisions a comparison needs: the
+// uncertain-boundary division for FTTT and the certain bisector division
+// for the baselines.
+func (s *scenario) divisions(needCertain bool) (uncertain, certain *field.Division, err error) {
+	c := s.p.Model.UncertaintyC(s.p.Epsilon)
+	rcU, err := field.NewRatioClassifier(s.nodes, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	uncertain, err = field.Divide(s.p.Field, rcU, s.p.CellSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if needCertain {
+		rcC, err := field.NewRatioClassifier(s.nodes, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		certain, err = field.Divide(s.p.Field, rcC, s.p.CellSize)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return uncertain, certain, nil
+}
+
+// Run tracks the scenario with each requested method and returns the
+// per-method estimate series (same indexing as s.trace).
+func (s *scenario) Run(methods ...Method) (map[Method][]geom.Point, error) {
+	needCertain := false
+	for _, m := range methods {
+		if m == PM || m == DirectMLE {
+			needCertain = true
+		}
+	}
+	uncertainDiv, certainDiv, err := s.divisions(needCertain)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make(map[Method][]geom.Point, len(methods))
+	for _, m := range methods {
+		est := make([]geom.Point, len(s.trace))
+		switch m {
+		case FTTTBasic, FTTTExtended, FTTTKalman, FTTTParticle:
+			cfg := core.Config{
+				Field:         s.p.Field,
+				Nodes:         s.nodes,
+				Model:         s.p.Model,
+				Epsilon:       s.p.Epsilon,
+				SamplingTimes: s.p.K,
+				Range:         s.p.Range,
+				CellSize:      s.p.CellSize,
+			}
+			if m == FTTTExtended {
+				cfg.Variant = core.Extended
+			}
+			tr, err := core.NewWithDivision(cfg, uncertainDiv)
+			if err != nil {
+				return nil, err
+			}
+			var smoother filter.Smoother
+			switch m {
+			case FTTTKalman:
+				// Measurement std ≈ typical FTTT error; process noise
+				// matched to the 1-5 m/s random-waypoint dynamics.
+				smoother, err = filter.NewKalman(2, 6)
+			case FTTTParticle:
+				var pf *filter.Particle
+				pf, err = filter.NewParticle(s.p.Field, 400, 3, 6,
+					randx.New(s.p.Seed).Split("particle-smoother"))
+				smoother = pf
+			}
+			if err != nil {
+				return nil, err
+			}
+			prevT := 0.0
+			for i, g := range s.groups {
+				raw := tr.LocalizeGroup(g).Pos
+				if smoother == nil {
+					est[i] = raw
+					continue
+				}
+				dt := 0.0
+				if i > 0 {
+					dt = s.times[i] - prevT
+				}
+				prevT = s.times[i]
+				est[i] = smoother.Update(raw, dt)
+			}
+		case DirectMLE:
+			d := baseline.NewDirectMLEWithDivision(certainDiv, s.nodes)
+			for i, g := range s.groups {
+				est[i] = d.LocalizeGroup(g)
+			}
+		case PM:
+			pm, err := baseline.NewPMWithDivision(certainDiv, s.nodes, baseline.PMConfig{
+				MaxVelocity: s.p.VMax,
+				Period:      s.p.LocPeriod,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, g := range s.groups {
+				est[i] = pm.LocalizeGroup(g)
+			}
+		case WCL:
+			w, err := baseline.NewWCL(s.p.Field, s.nodes)
+			if err != nil {
+				return nil, err
+			}
+			for i, g := range s.groups {
+				est[i] = w.LocalizeGroup(g)
+			}
+		case PkNN:
+			pk, err := baseline.NewPkNN(s.p.Field, s.nodes, s.p.Model, 4)
+			if err != nil {
+				return nil, err
+			}
+			for i, g := range s.groups {
+				est[i] = pk.LocalizeGroup(g)
+			}
+		case Trilateration:
+			tl, err := baseline.NewTrilateration(s.p.Field, s.nodes, s.p.Model)
+			if err != nil {
+				return nil, err
+			}
+			for i, g := range s.groups {
+				est[i] = tl.LocalizeGroup(g)
+			}
+		default:
+			return nil, fmt.Errorf("experiments: unknown method %v", m)
+		}
+		out[m] = est
+	}
+	return out, nil
+}
+
+// errorsOf converts an estimate series into per-point tracking errors.
+func (s *scenario) errorsOf(est []geom.Point) []float64 {
+	errs := make([]float64, len(est))
+	for i := range est {
+		errs[i] = est[i].Dist(s.trace[i])
+	}
+	return errs
+}

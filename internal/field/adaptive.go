@@ -1,0 +1,122 @@
+package field
+
+import (
+	"fmt"
+
+	"fttt/internal/geom"
+	"fttt/internal/vector"
+)
+
+// AdaptiveDivide is the double-level grid division of the authors'
+// companion work [29]: the field is first covered with coarse blocks;
+// blocks whose probed signatures are uniform are filled wholesale, and
+// only blocks straddling an uncertain boundary are refined to fine
+// cells. The result is bit-compatible with Divide at the fine
+// resolution wherever signatures were probed, and much cheaper to build
+// when boundaries cover a small fraction of the field.
+//
+// coarse must be a positive integer multiple of fine. Uniformity is
+// probed at nine points per block (corners, edge midpoints, centre); a
+// boundary thinner than the probe spacing can be missed inside a
+// "uniform" block, which is the documented approximation — shrink coarse
+// to tighten it.
+func AdaptiveDivide(fieldRect geom.Rect, classifier PairClassifier, coarse, fine float64) (*Division, error) {
+	if fine <= 0 {
+		return nil, fmt.Errorf("field: non-positive fine cell size %v", fine)
+	}
+	ratio := coarse / fine
+	iratio := int(ratio + 0.5)
+	if iratio < 1 || absf(ratio-float64(iratio)) > 1e-9 {
+		return nil, fmt.Errorf("field: coarse %v must be an integer multiple of fine %v", coarse, fine)
+	}
+	cols := int(fieldRect.Width()/fine + 0.5)
+	rows := int(fieldRect.Height()/fine + 0.5)
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("field: fine cell %v too large for field", fine)
+	}
+
+	d := &Division{
+		Field:    fieldRect,
+		CellSize: fine,
+		Cols:     cols,
+		Rows:     rows,
+		cellFace: make([]int, cols*rows),
+		bySig:    make(map[string]int),
+	}
+
+	var accums []*faceAccum
+	intern := func(sig vector.Vector) int {
+		key := sig.Key()
+		id, ok := d.bySig[key]
+		if !ok {
+			id = len(accums)
+			d.bySig[key] = id
+			accums = append(accums, &faceAccum{sig: sig})
+		}
+		return id
+	}
+	put := func(c, r, id int) {
+		accums[id].add(d.CellCenter(c, r))
+		d.cellFace[r*cols+c] = id
+	}
+
+	// Walk coarse blocks.
+	for br := 0; br < rows; br += iratio {
+		for bc := 0; bc < cols; bc += iratio {
+			rEnd := minInt(br+iratio, rows)
+			cEnd := minInt(bc+iratio, cols)
+			// Probe 9 points of the block's bounding box.
+			x0 := fieldRect.Min.X + float64(bc)*fine
+			y0 := fieldRect.Min.Y + float64(br)*fine
+			x1 := fieldRect.Min.X + float64(cEnd)*fine
+			y1 := fieldRect.Min.Y + float64(rEnd)*fine
+			xm, ym := (x0+x1)/2, (y0+y1)/2
+			probes := [9]geom.Point{
+				{X: x0, Y: y0}, {X: xm, Y: y0}, {X: x1, Y: y0},
+				{X: x0, Y: ym}, {X: xm, Y: ym}, {X: x1, Y: ym},
+				{X: x0, Y: y1}, {X: xm, Y: y1}, {X: x1, Y: y1},
+			}
+			first := Signature(classifier, probes[0])
+			uniform := true
+			for _, p := range probes[1:] {
+				if !vector.Equal(first, Signature(classifier, p)) {
+					uniform = false
+					break
+				}
+			}
+			if uniform {
+				id := intern(first)
+				for r := br; r < rEnd; r++ {
+					for c := bc; c < cEnd; c++ {
+						put(c, r, id)
+					}
+				}
+				continue
+			}
+			// Refine: per-fine-cell signatures inside the block.
+			for r := br; r < rEnd; r++ {
+				for c := bc; c < cEnd; c++ {
+					id := intern(Signature(classifier, d.CellCenter(c, r)))
+					put(c, r, id)
+				}
+			}
+		}
+	}
+
+	d.finalizeFaces(accums)
+	return d, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

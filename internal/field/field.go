@@ -1,0 +1,317 @@
+// Package field divides the monitor area into faces and builds their
+// signature vectors, the preprocessing phase of Sec. 4.3.
+//
+// Exact face extraction from the arrangement of O(n²) Apollonius-circle
+// pairs is a hard computational-geometry problem; the paper instead uses
+// the approximate grid division of Sec. 4.3: overlay a square grid,
+// compute each cell's signature vector, and group cells with identical
+// signatures into faces (Lemma 1). Face centroids come from eq. 5, and
+// neighbor-face links (Def. 8 / Theorem 1) come from 4-connected cell
+// adjacency between cells of different faces.
+package field
+
+import (
+	"fmt"
+	"sort"
+
+	"fttt/internal/geom"
+	"fttt/internal/vector"
+)
+
+// PairClassifier assigns the geometric node-pair value of a location:
+// for the pair (i, j) with i < j it returns Nearer (+1) when the point is
+// firmly nearer node i, Farther (-1) when firmly nearer node j, and
+// Flipped (0) inside the pair's uncertain area.
+type PairClassifier interface {
+	Classify(p geom.Point, i, j int) vector.Value
+	// NumNodes returns the number of nodes the classifier covers.
+	NumNodes() int
+}
+
+// RatioClassifier classifies by distance ratio against the uncertainty
+// constant C of eq. 3: value +1 iff d_i ≤ d_j / C, -1 iff d_i ≥ C·d_j,
+// else 0. C == 1 degenerates to the certain perpendicular-bisector
+// division used by the sequence-matching baselines (Fig. 3(a)); C > 1
+// yields the Apollonius-bounded uncertain areas (Fig. 3(b)).
+type RatioClassifier struct {
+	Nodes []geom.Point
+	C     float64
+}
+
+// NewRatioClassifier validates and returns a ratio classifier.
+func NewRatioClassifier(nodes []geom.Point, c float64) (*RatioClassifier, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("field: uncertainty constant C must be >= 1, got %v", c)
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("field: need at least 2 nodes, got %d", len(nodes))
+	}
+	return &RatioClassifier{Nodes: nodes, C: c}, nil
+}
+
+// NumNodes implements PairClassifier.
+func (rc *RatioClassifier) NumNodes() int { return len(rc.Nodes) }
+
+// Classify implements PairClassifier.
+func (rc *RatioClassifier) Classify(p geom.Point, i, j int) vector.Value {
+	di := p.Dist(rc.Nodes[i])
+	dj := p.Dist(rc.Nodes[j])
+	switch {
+	case di*rc.C <= dj:
+		return vector.Nearer
+	case dj*rc.C <= di:
+		return vector.Farther
+	default:
+		return vector.Flipped
+	}
+}
+
+// Signature returns the full signature vector of point p (Def. 6).
+func Signature(c PairClassifier, p geom.Point) vector.Vector {
+	n := c.NumNodes()
+	v := vector.New(n)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v[k] = c.Classify(p, i, j)
+			k++
+		}
+	}
+	return v
+}
+
+// Face is one equivalence class of grid cells sharing a signature vector.
+type Face struct {
+	// ID indexes the face within its Division.
+	ID int
+	// Signature is the face's signature vector (Lemma 1: unique per face).
+	Signature vector.Vector
+	// Centroid is the mean of the member cell centres (eq. 5) — the
+	// location estimate reported when the target matches this face.
+	Centroid geom.Point
+	// Cells is the number of member grid cells; Cells × cellArea
+	// approximates the face area (intra-face error of Sec. 5.2).
+	Cells int
+	// Neighbors lists the IDs of faces sharing at least one 4-connected
+	// cell edge with this face, in ascending order.
+	Neighbors []int
+	// NeighborDiffs[i] lists the signature components in which this face
+	// differs from Neighbors[i] — usually exactly one (Theorem 1). The
+	// incremental matcher uses it to update a match distance in O(|diff|)
+	// per hop instead of recomputing all C(n,2) components.
+	NeighborDiffs [][]int
+}
+
+// Division is the preprocessed monitor area: the face set, the signature
+// index, and the cell-to-face raster.
+type Division struct {
+	Field    geom.Rect
+	CellSize float64
+	Cols     int
+	Rows     int
+	Faces    []Face
+
+	// cellFace[r*Cols+c] is the face ID of the cell at column c, row r.
+	cellFace []int
+	// bySig maps a ternary signature key to its face ID.
+	bySig map[string]int
+}
+
+// Divide performs the approximate grid division of Sec. 4.3 with square
+// cells of the given size. Cell centres follow Fig. 6(b): the bottom-left
+// cell centre is the origin corner plus half a cell.
+func Divide(fieldRect geom.Rect, classifier PairClassifier, cellSize float64) (*Division, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("field: non-positive cell size %v", cellSize)
+	}
+	cols := int(fieldRect.Width()/cellSize + 0.5)
+	rows := int(fieldRect.Height()/cellSize + 0.5)
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("field: cell size %v too large for field %vx%v",
+			cellSize, fieldRect.Width(), fieldRect.Height())
+	}
+
+	d := &Division{
+		Field:    fieldRect,
+		CellSize: cellSize,
+		Cols:     cols,
+		Rows:     rows,
+		cellFace: make([]int, cols*rows),
+		bySig:    make(map[string]int),
+	}
+
+	// Pass 1: signature per cell; group into faces.
+	var accums []*faceAccum
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			center := d.CellCenter(c, r)
+			sig := Signature(classifier, center)
+			key := sig.Key()
+			id, ok := d.bySig[key]
+			if !ok {
+				id = len(accums)
+				d.bySig[key] = id
+				accums = append(accums, &faceAccum{sig: sig})
+			}
+			accums[id].add(center)
+			d.cellFace[r*cols+c] = id
+		}
+	}
+	d.finalizeFaces(accums)
+	return d, nil
+}
+
+// faceAccum accumulates one face's cells during division.
+type faceAccum struct {
+	sig   vector.Vector
+	sumX  float64
+	sumY  float64
+	cells int
+}
+
+func (a *faceAccum) add(center geom.Point) {
+	a.sumX += center.X
+	a.sumY += center.Y
+	a.cells++
+}
+
+// finalizeFaces builds the Face records from the accumulated cells and
+// the filled cellFace raster: neighbor links from 4-connected adjacency,
+// per-link signature diffs (Theorem 1 machinery), and centroids (eq. 5).
+func (d *Division) finalizeFaces(accums []*faceAccum) {
+	neighborSet := make([]map[int]struct{}, len(accums))
+	for i := range neighborSet {
+		neighborSet[i] = make(map[int]struct{})
+	}
+	link := func(a, b int) {
+		if a != b {
+			neighborSet[a][b] = struct{}{}
+			neighborSet[b][a] = struct{}{}
+		}
+	}
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			id := d.cellFace[r*d.Cols+c]
+			if c+1 < d.Cols {
+				link(id, d.cellFace[r*d.Cols+c+1])
+			}
+			if r+1 < d.Rows {
+				link(id, d.cellFace[(r+1)*d.Cols+c])
+			}
+		}
+	}
+	d.Faces = make([]Face, len(accums))
+	for id, a := range accums {
+		nbrs := make([]int, 0, len(neighborSet[id]))
+		for nb := range neighborSet[id] {
+			nbrs = append(nbrs, nb)
+		}
+		sort.Ints(nbrs)
+		diffs := make([][]int, len(nbrs))
+		for ni, nb := range nbrs {
+			diffs[ni] = signatureDiff(a.sig, accums[nb].sig)
+		}
+		d.Faces[id] = Face{
+			ID:            id,
+			Signature:     a.sig,
+			Centroid:      geom.Pt(a.sumX/float64(a.cells), a.sumY/float64(a.cells)),
+			Cells:         a.cells,
+			Neighbors:     nbrs,
+			NeighborDiffs: diffs,
+		}
+	}
+}
+
+// signatureDiff returns the component indices where a and b differ.
+func signatureDiff(a, b vector.Vector) []int {
+	var out []int
+	for k := range a {
+		if a[k] != b[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// CellCenter returns the centre of the cell at column c, row r.
+func (d *Division) CellCenter(c, r int) geom.Point {
+	return geom.Pt(
+		d.Field.Min.X+(float64(c)+0.5)*d.CellSize,
+		d.Field.Min.Y+(float64(r)+0.5)*d.CellSize,
+	)
+}
+
+// CellOf returns the grid cell containing p, clamped to the grid.
+func (d *Division) CellOf(p geom.Point) (c, r int) {
+	c = int((p.X - d.Field.Min.X) / d.CellSize)
+	r = int((p.Y - d.Field.Min.Y) / d.CellSize)
+	if c < 0 {
+		c = 0
+	}
+	if c >= d.Cols {
+		c = d.Cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= d.Rows {
+		r = d.Rows - 1
+	}
+	return c, r
+}
+
+// FaceAt returns the face containing the point p (by its grid cell).
+func (d *Division) FaceAt(p geom.Point) *Face {
+	c, r := d.CellOf(p)
+	return &d.Faces[d.cellFace[r*d.Cols+c]]
+}
+
+// FaceBySignature returns the face with exactly this ternary signature, or
+// nil if no grid cell produced it.
+func (d *Division) FaceBySignature(sig vector.Vector) *Face {
+	id, ok := d.bySig[sig.Key()]
+	if !ok {
+		return nil
+	}
+	return &d.Faces[id]
+}
+
+// NumFaces returns the number of distinct faces.
+func (d *Division) NumFaces() int { return len(d.Faces) }
+
+// CellArea returns the area of one grid cell.
+func (d *Division) CellArea() float64 { return d.CellSize * d.CellSize }
+
+// MeanFaceArea returns the average face area in m².
+func (d *Division) MeanFaceArea() float64 {
+	if len(d.Faces) == 0 {
+		return 0
+	}
+	return d.Field.Area() / float64(len(d.Faces))
+}
+
+// NeighborLinkCount returns the total number of undirected neighbor links
+// |L| (Sec. 4.4: O(n⁴) like the face count).
+func (d *Division) NeighborLinkCount() int {
+	total := 0
+	for _, f := range d.Faces {
+		total += len(f.Neighbors)
+	}
+	return total / 2
+}
+
+// UncertainFraction returns the fraction of grid cells whose signature has
+// at least one Flipped component — an estimate of how much of the field
+// lies in some pair's uncertain area (Fig. 3's shrinking certain faces).
+func (d *Division) UncertainFraction() float64 {
+	if d.Cols*d.Rows == 0 {
+		return 0
+	}
+	cells := 0
+	for _, f := range d.Faces {
+		if f.Signature.CountFlipped() > 0 {
+			cells += f.Cells
+		}
+	}
+	return float64(cells) / float64(d.Cols*d.Rows)
+}

@@ -1,0 +1,100 @@
+package field
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"fttt/internal/geom"
+	"fttt/internal/vector"
+)
+
+// divisionSnapshot is the wire form of a Division. The signature index is
+// rebuilt on load rather than serialized.
+type divisionSnapshot struct {
+	Field    [4]float64 // MinX, MinY, MaxX, MaxY
+	CellSize float64
+	Cols     int
+	Rows     int
+	Faces    []Face
+	CellFace []int
+}
+
+// Save serializes the division with encoding/gob. The preprocessing
+// phase of Sec. 4.3 is the expensive step of FTTT — a deployment
+// computes it once at the base station and persists it; trackers then
+// Load it at startup.
+func (d *Division) Save(w io.Writer) error {
+	snap := divisionSnapshot{
+		Field:    [4]float64{d.Field.Min.X, d.Field.Min.Y, d.Field.Max.X, d.Field.Max.Y},
+		CellSize: d.CellSize,
+		Cols:     d.Cols,
+		Rows:     d.Rows,
+		Faces:    d.Faces,
+		CellFace: d.cellFace,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("field: encoding division: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a division saved with Save and rebuilds the
+// signature index. It validates structural invariants so a truncated or
+// corrupted stream cannot produce a division that panics later.
+func Load(r io.Reader) (*Division, error) {
+	var snap divisionSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("field: decoding division: %w", err)
+	}
+	if snap.Cols < 1 || snap.Rows < 1 || snap.CellSize <= 0 {
+		return nil, fmt.Errorf("field: corrupt division header (%dx%d cell %v)",
+			snap.Cols, snap.Rows, snap.CellSize)
+	}
+	if len(snap.CellFace) != snap.Cols*snap.Rows {
+		return nil, fmt.Errorf("field: raster has %d cells, want %d",
+			len(snap.CellFace), snap.Cols*snap.Rows)
+	}
+	if len(snap.Faces) == 0 {
+		return nil, fmt.Errorf("field: division has no faces")
+	}
+	d := &Division{
+		Field:    geom.NewRect(geom.Pt(snap.Field[0], snap.Field[1]), geom.Pt(snap.Field[2], snap.Field[3])),
+		CellSize: snap.CellSize,
+		Cols:     snap.Cols,
+		Rows:     snap.Rows,
+		Faces:    snap.Faces,
+		cellFace: snap.CellFace,
+		bySig:    make(map[string]int, len(snap.Faces)),
+	}
+	dim := -1
+	for i, f := range d.Faces {
+		if f.ID != i {
+			return nil, fmt.Errorf("field: face %d has ID %d", i, f.ID)
+		}
+		if dim == -1 {
+			dim = f.Signature.Dim()
+		} else if f.Signature.Dim() != dim {
+			return nil, fmt.Errorf("field: face %d signature dim %d, want %d",
+				i, f.Signature.Dim(), dim)
+		}
+		for _, nb := range f.Neighbors {
+			if nb < 0 || nb >= len(d.Faces) {
+				return nil, fmt.Errorf("field: face %d has invalid neighbor %d", i, nb)
+			}
+		}
+		d.bySig[f.Signature.Key()] = i
+	}
+	for ci, id := range d.cellFace {
+		if id < 0 || id >= len(d.Faces) {
+			return nil, fmt.Errorf("field: cell %d maps to invalid face %d", ci, id)
+		}
+	}
+	return d, nil
+}
+
+func init() {
+	// vector.Value is a defined float64 type: register it so gob encodes
+	// slices of it inside Face.
+	gob.Register(vector.Value(0))
+}

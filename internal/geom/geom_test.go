@@ -1,0 +1,401 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-2, 0), Pt(2, 0), 4},
+		{Pt(0, -3), Pt(0, 3), 6},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > Eps {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.Dist2(tt.q); math.Abs(got-tt.want*tt.want) > Eps {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestDistSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return math.Abs(a.Dist(b)-b.Dist(a)) <= Eps
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMid(t *testing.T) {
+	m := Pt(0, 0).Mid(Pt(4, 6))
+	if !m.Eq(Pt(2, 3)) {
+		t.Errorf("Mid = %v, want (2,3)", m)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{3, 4}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := v.Unit().Len(); math.Abs(got-1) > Eps {
+		t.Errorf("Unit().Len() = %v, want 1", got)
+	}
+	if got := (Vec{}).Unit(); got != (Vec{}) {
+		t.Errorf("zero Unit = %v, want zero", got)
+	}
+	if got := v.Dot(v.Perp()); math.Abs(got) > Eps {
+		t.Errorf("v·v⊥ = %v, want 0", got)
+	}
+	if got := v.Cross(v); math.Abs(got) > Eps {
+		t.Errorf("v×v = %v, want 0", got)
+	}
+	w := Vec{1, -2}
+	if got, want := v.Add(w), (Vec{4, 2}); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := v.Sub(w), (Vec{2, 6}); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := v.Scale(2), (Vec{6, 8}); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+}
+
+func TestPerpRotation(t *testing.T) {
+	f := func(x, y float64) bool {
+		v := Vec{x, y}
+		p := v.Perp()
+		// Same length, orthogonal, counter-clockwise (cross >= 0).
+		return math.Abs(v.Len()-p.Len()) <= 1e-6*math.Max(1, v.Len()) &&
+			math.Abs(v.Dot(p)) <= 1e-6*math.Max(1, v.Len2()) &&
+			v.Cross(p) >= 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Pt(10, 20), Pt(0, 0))
+	if r.Min != Pt(0, 0) || r.Max != Pt(10, 20) {
+		t.Fatalf("NewRect corners wrong: %+v", r)
+	}
+	if r.Width() != 10 || r.Height() != 20 || r.Area() != 200 {
+		t.Errorf("dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 20)) {
+		t.Error("Contains should include interior and boundary")
+	}
+	if r.Contains(Pt(-1, 5)) || r.Contains(Pt(5, 21)) {
+		t.Error("Contains should exclude exterior")
+	}
+	if got := r.Clamp(Pt(-5, 30)); got != Pt(0, 20) {
+		t.Errorf("Clamp = %v, want (0,20)", got)
+	}
+	if got := r.Center(); got != Pt(5, 10) {
+		t.Errorf("Center = %v, want (5,10)", got)
+	}
+}
+
+func TestClampInside(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(100, 100))
+	f := func(x, y float64) bool {
+		return r.Contains(r.Clamp(Pt(x, y)))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	if s.Len() != 10 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if got := s.At(0.5); !got.Eq(Pt(5, 0)) {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := s.DistTo(Pt(5, 3)); math.Abs(got-3) > Eps {
+		t.Errorf("DistTo mid = %v, want 3", got)
+	}
+	if got := s.DistTo(Pt(-4, 3)); math.Abs(got-5) > Eps {
+		t.Errorf("DistTo beyond A = %v, want 5", got)
+	}
+	if got := s.DistTo(Pt(14, 3)); math.Abs(got-5) > Eps {
+		t.Errorf("DistTo beyond B = %v, want 5", got)
+	}
+	deg := Segment{Pt(1, 1), Pt(1, 1)}
+	if got := deg.DistTo(Pt(4, 5)); math.Abs(got-5) > Eps {
+		t.Errorf("degenerate DistTo = %v, want 5", got)
+	}
+}
+
+func TestBisector(t *testing.T) {
+	p, q := Pt(-2, 0), Pt(2, 0)
+	l := Bisector(p, q)
+	// Points on the bisector are equidistant.
+	for _, y := range []float64{-5, 0, 3} {
+		if got := l.Side(Pt(0, y)); math.Abs(got) > Eps {
+			t.Errorf("bisector Side((0,%v)) = %v, want 0", y, got)
+		}
+	}
+	// Positive side is nearer p.
+	if l.Side(p) <= 0 {
+		t.Error("Side(p) should be positive")
+	}
+	if l.Side(q) >= 0 {
+		t.Error("Side(q) should be negative")
+	}
+}
+
+func TestBisectorEquidistantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Pt(rng.Float64()*100, rng.Float64()*100)
+		q := Pt(rng.Float64()*100, rng.Float64()*100)
+		if p.Dist(q) < 1e-3 {
+			continue
+		}
+		l := Bisector(p, q)
+		x := Pt(rng.Float64()*100, rng.Float64()*100)
+		side := l.Side(x)
+		dp, dq := x.Dist(p), x.Dist(q)
+		switch {
+		case side > 1e-6 && dp >= dq:
+			t.Fatalf("positive side should be nearer p: side=%v dp=%v dq=%v", side, dp, dq)
+		case side < -1e-6 && dq >= dp:
+			t.Fatalf("negative side should be nearer q: side=%v dp=%v dq=%v", side, dp, dq)
+		}
+	}
+}
+
+func TestApolloniusPaperForm(t *testing.T) {
+	// Paper eq. 4: nodes at (d,0) and (-d,0), boundary circle has centre
+	// ((C²+1)/(C²-1)·d, 0) and radius 2Cd/(C²-1).
+	d, C := 3.0, 1.5
+	p, q := Pt(d, 0), Pt(-d, 0)
+	// Locus of x with d(x,q)/d(x,p) = C, i.e. points much nearer p:
+	// Apollonius(q, p, C) in our parameterisation gives d(x,q)=C·d(x,p).
+	c, ok := Apollonius(q, p, C)
+	if !ok {
+		t.Fatal("Apollonius returned !ok")
+	}
+	c2 := C * C
+	wantCx := (c2 + 1) / (c2 - 1) * d
+	wantR := 2 * C * d / (c2 - 1)
+	if math.Abs(c.C.X-wantCx) > 1e-9 || math.Abs(c.C.Y) > 1e-9 {
+		t.Errorf("centre = %v, want (%v, 0)", c.C, wantCx)
+	}
+	if math.Abs(c.R-wantR) > 1e-9 {
+		t.Errorf("radius = %v, want %v", c.R, wantR)
+	}
+}
+
+func TestApolloniusMembership(t *testing.T) {
+	// Every point of the Apollonius circle satisfies the distance ratio.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		p := Pt(rng.Float64()*50, rng.Float64()*50)
+		q := Pt(rng.Float64()*50+60, rng.Float64()*50)
+		lambda := 0.2 + rng.Float64()*3
+		if math.Abs(lambda-1) < 0.05 {
+			continue
+		}
+		c, ok := Apollonius(p, q, lambda)
+		if !ok {
+			t.Fatalf("unexpected !ok for lambda=%v", lambda)
+		}
+		for _, theta := range []float64{0, 1, 2, 3, 4, 5, 6} {
+			x := c.PointAt(theta)
+			ratio := DistanceRatio(x, p, q)
+			if math.Abs(ratio-lambda) > 1e-6*math.Max(1, lambda) {
+				t.Fatalf("ratio at θ=%v is %v, want %v", theta, ratio, lambda)
+			}
+		}
+	}
+}
+
+func TestApolloniusDegenerate(t *testing.T) {
+	if _, ok := Apollonius(Pt(0, 0), Pt(1, 0), 1); ok {
+		t.Error("lambda=1 should be degenerate")
+	}
+	if _, ok := Apollonius(Pt(0, 0), Pt(1, 0), 0); ok {
+		t.Error("lambda=0 should be rejected")
+	}
+	if _, ok := Apollonius(Pt(0, 0), Pt(1, 0), -2); ok {
+		t.Error("negative lambda should be rejected")
+	}
+}
+
+func TestApolloniusMirror(t *testing.T) {
+	// The lambda and 1/lambda circles are mirror images across the
+	// perpendicular bisector (paper Fig. 2).
+	p, q := Pt(-2, 0), Pt(2, 0)
+	a, _ := Apollonius(p, q, 2)
+	b, _ := Apollonius(p, q, 0.5)
+	if math.Abs(a.R-b.R) > 1e-9 {
+		t.Errorf("mirror radii differ: %v vs %v", a.R, b.R)
+	}
+	if math.Abs(a.C.X+b.C.X) > 1e-9 { // symmetric about x=0
+		t.Errorf("centres not mirrored: %v vs %v", a.C, b.C)
+	}
+}
+
+func TestDistanceRatioAtPoles(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 0)
+	if got := DistanceRatio(p, p, q); got != 0 {
+		t.Errorf("ratio at p = %v, want 0", got)
+	}
+	if got := DistanceRatio(q, p, q); !math.IsInf(got, 1) {
+		t.Errorf("ratio at q = %v, want +Inf", got)
+	}
+}
+
+func TestCircleLineIntersect(t *testing.T) {
+	c := Circle{Pt(0, 0), 5}
+	l := LineThrough(Pt(-10, 3), Pt(10, 3))
+	pts := CircleLineIntersect(c, l)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if !c.On(p, 1e-9) {
+			t.Errorf("point %v not on circle", p)
+		}
+		if math.Abs(p.Y-3) > 1e-9 {
+			t.Errorf("point %v not on line", p)
+		}
+	}
+	// Tangent line.
+	tl := LineThrough(Pt(-10, 5), Pt(10, 5))
+	if pts := CircleLineIntersect(c, tl); len(pts) != 1 {
+		t.Errorf("tangent: got %d points, want 1", len(pts))
+	}
+	// Missing line.
+	ml := LineThrough(Pt(-10, 9), Pt(10, 9))
+	if pts := CircleLineIntersect(c, ml); len(pts) != 0 {
+		t.Errorf("miss: got %d points, want 0", len(pts))
+	}
+}
+
+func TestCircleCircleIntersect(t *testing.T) {
+	a := Circle{Pt(0, 0), 5}
+	b := Circle{Pt(6, 0), 5}
+	pts := CircleCircleIntersect(a, b)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if !a.On(p, 1e-9) || !b.On(p, 1e-9) {
+			t.Errorf("point %v not on both circles", p)
+		}
+	}
+	// Tangent externally.
+	c := Circle{Pt(10, 0), 5}
+	if pts := CircleCircleIntersect(a, c); len(pts) != 1 {
+		t.Errorf("tangent: got %d, want 1", len(pts))
+	}
+	// Disjoint.
+	d := Circle{Pt(100, 0), 5}
+	if pts := CircleCircleIntersect(a, d); len(pts) != 0 {
+		t.Errorf("disjoint: got %d, want 0", len(pts))
+	}
+	// One inside another without touching.
+	e := Circle{Pt(0.5, 0), 1}
+	if pts := CircleCircleIntersect(a, e); len(pts) != 0 {
+		t.Errorf("nested: got %d, want 0", len(pts))
+	}
+	// Concentric.
+	if pts := CircleCircleIntersect(a, Circle{Pt(0, 0), 3}); pts != nil {
+		t.Errorf("concentric: got %v, want nil", pts)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Pt(0, 0), 2}
+	if !c.Contains(Pt(1, 0)) {
+		t.Error("interior point should be contained")
+	}
+	if c.Contains(Pt(2, 0)) {
+		t.Error("boundary point should not be strictly contained")
+	}
+	if c.Contains(Pt(3, 0)) {
+		t.Error("exterior point should not be contained")
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(3, 4), Pt(3, 8)}
+	if got := PolylineLength(pts); math.Abs(got-9) > Eps {
+		t.Errorf("PolylineLength = %v, want 9", got)
+	}
+	if got := PolylineLength(nil); got != 0 {
+		t.Errorf("empty polyline = %v, want 0", got)
+	}
+	if got := PolylineLength(pts[:1]); got != 0 {
+		t.Errorf("single point polyline = %v, want 0", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+	if got := Centroid(nil); got != (Point{}) {
+		t.Errorf("empty Centroid = %v, want origin", got)
+	}
+}
+
+func TestLineThroughSide(t *testing.T) {
+	l := LineThrough(Pt(0, 0), Pt(10, 0))
+	if math.Abs(l.Side(Pt(5, 0))) > Eps {
+		t.Error("point on line should have Side 0")
+	}
+	s1, s2 := l.Side(Pt(0, 1)), l.Side(Pt(0, -1))
+	if s1*s2 >= 0 {
+		t.Error("opposite sides should have opposite signs")
+	}
+	if math.Abs(math.Abs(s1)-1) > Eps {
+		t.Errorf("|Side| should equal distance, got %v", s1)
+	}
+}
+
+// quickCfg bounds quick.Check inputs to a sane coordinate range so the
+// float64 generator does not produce astronomically large values that
+// overflow intermediate arithmetic.
+func quickCfg() *quick.Config {
+	rng := rand.New(rand.NewSource(42))
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     rng,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.Float64()*2000 - 1000)
+			}
+		},
+	}
+}

@@ -1,0 +1,309 @@
+// Package match locates the face whose signature vector best matches a
+// sampling vector — the maximum-likelihood matching of Sec. 4.4.
+//
+// Two matchers are provided. Exhaustive scans every face, the O(n⁴)
+// ergodic process the paper starts from. Heuristic implements
+// Algorithm 2: hill-climb along neighbor-face links from a warm-start
+// face (the previous localization during continuous tracking), which the
+// paper shows drops the time complexity to O(n²). Both report search
+// statistics so the benches can reproduce the complexity comparison.
+package match
+
+import (
+	"container/heap"
+	"math"
+
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/vector"
+)
+
+// Result is the outcome of one matching operation.
+type Result struct {
+	// Face is the best-matching face.
+	Face *field.Face
+	// Similarity is the Def. 7 similarity of the winning face (may be
+	// +Inf on an exact match).
+	Similarity float64
+	// Estimate is the reported target location. For a unique winner it is
+	// the face centroid; when several faces tie at the maximum similarity
+	// the estimate is the mean of their centroids (Sec. 6).
+	Estimate geom.Point
+	// Tied is the number of faces sharing the maximum similarity.
+	Tied int
+	// Visited is the number of faces whose similarity was evaluated.
+	Visited int
+	// Rounds is the number of hill-climbing rounds (heuristic only).
+	Rounds int
+}
+
+// Matcher locates the best face for a sampling vector.
+type Matcher interface {
+	// Match finds the face best matching v. prev is the face returned by
+	// the previous localization, or nil for the first one; matchers may
+	// use it as a warm start.
+	Match(v vector.Vector, prev *field.Face) Result
+}
+
+// Exhaustive scans all faces of the division.
+type Exhaustive struct {
+	Div *field.Division
+}
+
+// Match implements Matcher.
+func (m *Exhaustive) Match(v vector.Vector, _ *field.Face) Result {
+	best := math.Inf(-1)
+	var winner *field.Face
+	var ties []*field.Face
+	for i := range m.Div.Faces {
+		f := &m.Div.Faces[i]
+		s := vector.Similarity(v, f.Signature)
+		switch {
+		case s > best:
+			best = s
+			winner = f
+			ties = ties[:0]
+		case s == best:
+			ties = append(ties, f)
+		}
+	}
+	return finish(winner, ties, best, len(m.Div.Faces), 0)
+}
+
+// Heuristic searches along neighbor-face links from a warm start
+// (Algorithm 2). Instead of the paper's strictly-improving hill climb —
+// which stalls on the similarity plateaus that flipped components create —
+// it runs a bounded best-first search: faces are expanded in decreasing
+// similarity order, and the search stops once Patience consecutive
+// expansions fail to improve on the best face seen. This keeps the local,
+// O(n²)-per-localization character of Algorithm 2 while tolerating
+// plateaus; Patience = 0 selects a default of 24.
+type Heuristic struct {
+	Div *field.Division
+	// Patience is how many consecutive non-improving expansions the
+	// search tolerates before stopping.
+	Patience int
+	// Incremental updates a neighbor's match distance from its parent's
+	// using the per-link signature diffs (Face.NeighborDiffs): O(|diff|)
+	// per hop instead of O(C(n,2)) — Theorem 1 says |diff| is usually 1.
+	// Results are identical up to floating-point association order.
+	Incremental bool
+	// Fallback, when true, reruns an exhaustive scan whenever the search
+	// converges on a face whose similarity is below FallbackBelow. The
+	// paper's algorithm has no such escape; it is provided for the
+	// ablation study of DESIGN.md §5.
+	Fallback bool
+	// FallbackBelow is the similarity threshold that triggers the
+	// fallback; a face that matches at least this well is accepted.
+	FallbackBelow float64
+}
+
+// faceHeap is a min-heap of (squared distance, faceID) entries.
+type faceHeap []faceEntry
+
+type faceEntry struct {
+	d2 float64
+	id int
+}
+
+func (h faceHeap) Len() int            { return len(h) }
+func (h faceHeap) Less(i, j int) bool  { return h[i].d2 < h[j].d2 }
+func (h faceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *faceHeap) Push(x interface{}) { *h = append(*h, x.(faceEntry)) }
+func (h *faceHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// dist2 is the squared modified distance of Def. 8 (stars contribute 0).
+func dist2(v, sig vector.Vector) float64 {
+	var sum float64
+	for k := range v {
+		if v[k].IsStar() || sig[k].IsStar() {
+			continue
+		}
+		d := float64(v[k] - sig[k])
+		sum += d * d
+	}
+	return sum
+}
+
+// term is one component's contribution to dist2.
+func term(a, b vector.Value) float64 {
+	if a.IsStar() || b.IsStar() {
+		return 0
+	}
+	d := float64(a - b)
+	return d * d
+}
+
+// Match implements Matcher. With a nil prev it starts from the division's
+// middle face (Algorithm 2's Initialization()).
+func (m *Heuristic) Match(v vector.Vector, prev *field.Face) Result {
+	start := prev
+	if start == nil {
+		start = m.Div.FaceAt(m.Div.Field.Center())
+	}
+	patience := m.Patience
+	if patience <= 0 {
+		patience = 24
+	}
+
+	seen := map[int]struct{}{start.ID: {}}
+	h := faceHeap{{d2: dist2(v, start.Signature), id: start.ID}}
+	best := h[0]
+	visited := 1
+	rounds := 0
+	stall := 0
+	for len(h) > 0 && stall < patience {
+		e := heap.Pop(&h).(faceEntry)
+		rounds++
+		if e.d2 < best.d2 {
+			best = e
+			stall = 0
+		} else {
+			stall++
+		}
+		if best.d2 == 0 {
+			break // exact match cannot be beaten
+		}
+		face := &m.Div.Faces[e.id]
+		for ni, nb := range face.Neighbors {
+			if _, ok := seen[nb]; ok {
+				continue
+			}
+			seen[nb] = struct{}{}
+			visited++
+			var d2 float64
+			if m.Incremental && face.NeighborDiffs != nil {
+				// Patch only the components that differ across the link.
+				d2 = e.d2
+				nbSig := m.Div.Faces[nb].Signature
+				for _, k := range face.NeighborDiffs[ni] {
+					d2 += term(v[k], nbSig[k]) - term(v[k], face.Signature[k])
+				}
+				if d2 < 0 { // guard against rounding just below zero
+					d2 = 0
+				}
+			} else {
+				d2 = dist2(v, m.Div.Faces[nb].Signature)
+			}
+			heap.Push(&h, faceEntry{d2: d2, id: nb})
+		}
+	}
+	curSim := math.Inf(1)
+	if best.d2 > 0 {
+		curSim = 1 / math.Sqrt(best.d2)
+	}
+	if m.Fallback && curSim < m.FallbackBelow {
+		ex := Exhaustive{Div: m.Div}
+		r := ex.Match(v, nil)
+		r.Visited += visited
+		r.Rounds = rounds
+		return r
+	}
+	// The search returns a single face; ties among distant faces are not
+	// visible to the local search, matching Algorithm 2.
+	return finish(&m.Div.Faces[best.id], nil, curSim, visited, rounds)
+}
+
+// WeightedTopM scans all faces like Exhaustive but estimates the target
+// position as the similarity-weighted mean of the M best faces'
+// centroids instead of the single argmax. Face-matching errors are
+// discrete jumps between candidate faces; averaging over the top
+// candidates trades a little bias for much less jump variance — the
+// estimator ablation of DESIGN.md §5 quantifies the effect against the
+// paper's plain maximum-likelihood rule.
+type WeightedTopM struct {
+	Div *field.Division
+	// M is how many of the best faces contribute (≥ 1).
+	M int
+}
+
+// Match implements Matcher.
+func (m *WeightedTopM) Match(v vector.Vector, _ *field.Face) Result {
+	mm := m.M
+	if mm < 1 {
+		mm = 1
+	}
+	// Maintain the top-M faces by similarity in a small insertion list.
+	type cand struct {
+		sim float64
+		id  int
+	}
+	top := make([]cand, 0, mm)
+	for i := range m.Div.Faces {
+		s := vector.Similarity(v, m.Div.Faces[i].Signature)
+		if len(top) < mm {
+			top = append(top, cand{s, i})
+			for a := len(top) - 1; a > 0 && top[a].sim > top[a-1].sim; a-- {
+				top[a], top[a-1] = top[a-1], top[a]
+			}
+			continue
+		}
+		if s <= top[mm-1].sim {
+			continue
+		}
+		top[mm-1] = cand{s, i}
+		for a := mm - 1; a > 0 && top[a].sim > top[a-1].sim; a-- {
+			top[a], top[a-1] = top[a-1], top[a]
+		}
+	}
+	// Exact matches (+Inf similarity) dominate: average only those.
+	if math.IsInf(top[0].sim, 1) {
+		var pts []geom.Point
+		for _, c := range top {
+			if math.IsInf(c.sim, 1) {
+				pts = append(pts, m.Div.Faces[c.id].Centroid)
+			}
+		}
+		return Result{
+			Face:       &m.Div.Faces[top[0].id],
+			Similarity: top[0].sim,
+			Estimate:   geom.Centroid(pts),
+			Tied:       len(pts),
+			Visited:    len(m.Div.Faces),
+		}
+	}
+	var sx, sy, sw float64
+	for _, c := range top {
+		w := c.sim
+		sx += w * m.Div.Faces[c.id].Centroid.X
+		sy += w * m.Div.Faces[c.id].Centroid.Y
+		sw += w
+	}
+	est := m.Div.Faces[top[0].id].Centroid
+	if sw > 0 {
+		est = geom.Pt(sx/sw, sy/sw)
+	}
+	return Result{
+		Face:       &m.Div.Faces[top[0].id],
+		Similarity: top[0].sim,
+		Estimate:   est,
+		Tied:       1,
+		Visited:    len(m.Div.Faces),
+	}
+}
+
+func finish(winner *field.Face, ties []*field.Face, sim float64, visited, rounds int) Result {
+	r := Result{
+		Face:       winner,
+		Similarity: sim,
+		Estimate:   winner.Centroid,
+		Tied:       1 + len(ties),
+		Visited:    visited,
+		Rounds:     rounds,
+	}
+	if len(ties) > 0 {
+		pts := make([]geom.Point, 0, len(ties)+1)
+		pts = append(pts, winner.Centroid)
+		for _, f := range ties {
+			pts = append(pts, f.Centroid)
+		}
+		r.Estimate = geom.Centroid(pts)
+	}
+	return r
+}

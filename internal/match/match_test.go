@@ -1,0 +1,381 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/deploy"
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/vector"
+)
+
+var fieldRect = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+
+func buildDivision(t testing.TB, n int, cell float64) *field.Division {
+	t.Helper()
+	d := deploy.Grid(fieldRect, n)
+	c := rf.Default().UncertaintyC(1)
+	rc, err := field.NewRatioClassifier(d.Positions(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := field.Divide(fieldRect, rc, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return div
+}
+
+func TestExhaustiveFindsExactSignature(t *testing.T) {
+	div := buildDivision(t, 4, 2)
+	m := &Exhaustive{Div: div}
+	for _, f := range div.Faces[:minInt(20, len(div.Faces))] {
+		r := m.Match(f.Signature, nil)
+		if !math.IsInf(r.Similarity, 1) {
+			t.Fatalf("face %d: exact signature similarity = %v, want +Inf", f.ID, r.Similarity)
+		}
+		if r.Tied == 1 && r.Face.ID != f.ID {
+			t.Fatalf("face %d: matched %d instead", f.ID, r.Face.ID)
+		}
+	}
+}
+
+func TestExhaustiveVisitsAll(t *testing.T) {
+	div := buildDivision(t, 4, 2)
+	m := &Exhaustive{Div: div}
+	r := m.Match(div.Faces[0].Signature, nil)
+	if r.Visited != div.NumFaces() {
+		t.Errorf("Visited = %d, want %d", r.Visited, div.NumFaces())
+	}
+}
+
+func TestExhaustiveNearestForPerturbed(t *testing.T) {
+	// Perturb one component of a face signature; the original face should
+	// still be among the best (distance 1).
+	div := buildDivision(t, 4, 2)
+	m := &Exhaustive{Div: div}
+	f := &div.Faces[div.NumFaces()/2]
+	v := f.Signature.Clone()
+	// Flip a certain component to uncertain (distance 1 from original).
+	flipped := false
+	for k := range v {
+		if v[k] != vector.Flipped {
+			v[k] = vector.Flipped
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Skip("face has all-flipped signature")
+	}
+	r := m.Match(v, nil)
+	if r.Similarity < 1 { // distance must be ≤ 1
+		t.Errorf("similarity = %v, want ≥ 1", r.Similarity)
+	}
+}
+
+func TestTieEstimateIsMeanOfCentroids(t *testing.T) {
+	// Craft a division-like tie using the real matcher: find two faces at
+	// equal distance from a probe vector.
+	div := buildDivision(t, 4, 2)
+	m := &Exhaustive{Div: div}
+	// Probe with an impossible all-star-free vector far from everything:
+	// all zeros is plausible; just assert the invariant Estimate == mean
+	// of tied centroids whenever Tied > 1.
+	r := m.Match(vector.New(4), nil)
+	if r.Tied > 1 {
+		if !fieldRect.Contains(r.Estimate) {
+			t.Errorf("tied estimate %v outside field", r.Estimate)
+		}
+	}
+	_ = r
+}
+
+func TestHeuristicConvergesToExhaustiveNearPrev(t *testing.T) {
+	// When warm-started at the true face, the heuristic must return a
+	// face at least as similar as the start.
+	div := buildDivision(t, 9, 2)
+	h := &Heuristic{Div: div}
+	rng := randx.New(1)
+	for trial := 0; trial < 100; trial++ {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		f := div.FaceAt(p)
+		r := h.Match(f.Signature, f)
+		if !math.IsInf(r.Similarity, 1) {
+			t.Fatalf("warm start at exact face should match exactly, got sim %v", r.Similarity)
+		}
+	}
+}
+
+func TestHeuristicVisitsFewerThanExhaustive(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	ex := &Exhaustive{Div: div}
+	h := &Heuristic{Div: div}
+	rng := randx.New(2)
+	sumEx, sumH := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		f := div.FaceAt(p)
+		// Probe with the face's own signature warm-started nearby.
+		q := geom.Pt(p.X+3, p.Y)
+		prev := div.FaceAt(fieldRect.Clamp(q))
+		sumEx += ex.Match(f.Signature, nil).Visited
+		sumH += h.Match(f.Signature, prev).Visited
+	}
+	if sumH >= sumEx {
+		t.Errorf("heuristic visited %d ≥ exhaustive %d", sumH, sumEx)
+	}
+}
+
+func TestHeuristicColdStart(t *testing.T) {
+	div := buildDivision(t, 4, 2)
+	h := &Heuristic{Div: div}
+	r := h.Match(div.Faces[0].Signature, nil)
+	if r.Face == nil {
+		t.Fatal("nil face")
+	}
+	if r.Rounds < 1 {
+		t.Errorf("Rounds = %d, want ≥ 1", r.Rounds)
+	}
+}
+
+func TestHeuristicFallback(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	noFB := &Heuristic{Div: div}
+	fb := &Heuristic{Div: div, Fallback: true, FallbackBelow: math.Inf(1)}
+	// With an infinite threshold the fallback always fires, so the result
+	// must equal the exhaustive answer.
+	ex := &Exhaustive{Div: div}
+	rng := randx.New(3)
+	for trial := 0; trial < 30; trial++ {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		v := div.FaceAt(p).Signature
+		want := ex.Match(v, nil)
+		got := fb.Match(v, nil)
+		if got.Similarity != want.Similarity {
+			t.Fatalf("fallback similarity %v != exhaustive %v", got.Similarity, want.Similarity)
+		}
+		// When the climb already matched exactly (+Inf) the fallback does
+		// not fire; otherwise the fallback scan adds to Visited.
+		if !math.IsInf(got.Similarity, 1) && got.Visited <= want.Visited {
+			t.Fatalf("fallback should visit more than exhaustive alone")
+		}
+		_ = noFB
+	}
+}
+
+func TestHeuristicEstimateInsideField(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	h := &Heuristic{Div: div}
+	rng := randx.New(4)
+	for trial := 0; trial < 50; trial++ {
+		p := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		r := h.Match(div.FaceAt(p).Signature, nil)
+		if !fieldRect.Contains(r.Estimate) {
+			t.Fatalf("estimate %v outside field", r.Estimate)
+		}
+	}
+}
+
+func TestMatchersAgreeOnExactSignatures(t *testing.T) {
+	// For exact face signatures, heuristic warm-started at a neighbor
+	// should land on a face with infinite similarity (the face itself or
+	// an identical-signature face).
+	div := buildDivision(t, 9, 2)
+	h := &Heuristic{Div: div}
+	for i := range div.Faces[:minInt(30, len(div.Faces))] {
+		f := &div.Faces[i]
+		if len(f.Neighbors) == 0 {
+			continue
+		}
+		prev := &div.Faces[f.Neighbors[0]]
+		r := h.Match(f.Signature, prev)
+		if !math.IsInf(r.Similarity, 1) {
+			// A one-step climb can stall on plateaus; allow distance 1.
+			if r.Similarity < 1 {
+				t.Errorf("face %d from neighbor: sim %v too low", f.ID, r.Similarity)
+			}
+		}
+	}
+}
+
+func TestWeightedTopMOneEqualsExhaustive(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	ex := &Exhaustive{Div: div}
+	w1 := &WeightedTopM{Div: div, M: 1}
+	rng := randx.New(7)
+	for trial := 0; trial < 40; trial++ {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		v := div.FaceAt(p).Signature
+		re := ex.Match(v, nil)
+		rw := w1.Match(v, nil)
+		if re.Face.ID != rw.Face.ID && re.Tied == 1 {
+			t.Fatalf("M=1 winner %d != exhaustive %d", rw.Face.ID, re.Face.ID)
+		}
+	}
+}
+
+func TestWeightedTopMExactMatchAveragesOnlyExact(t *testing.T) {
+	div := buildDivision(t, 4, 2)
+	w := &WeightedTopM{Div: div, M: 5}
+	f := &div.Faces[div.NumFaces()/3]
+	r := w.Match(f.Signature, nil)
+	if !math.IsInf(r.Similarity, 1) {
+		t.Fatalf("exact signature should match with +Inf, got %v", r.Similarity)
+	}
+	// With a unique exact match the estimate is that face's centroid.
+	if r.Tied == 1 && !r.Estimate.Eq(f.Centroid) {
+		t.Errorf("estimate %v, want centroid %v", r.Estimate, f.Centroid)
+	}
+}
+
+func TestWeightedTopMEstimateInField(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	w := &WeightedTopM{Div: div, M: 8}
+	rng := randx.New(8)
+	for trial := 0; trial < 40; trial++ {
+		// Perturbed vector: flip a few components.
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		v := div.FaceAt(p).Signature.Clone()
+		for j := 0; j < 3; j++ {
+			v[rng.Intn(len(v))] = vector.Flipped
+		}
+		r := w.Match(v, nil)
+		if !fieldRect.Contains(r.Estimate) {
+			t.Fatalf("estimate %v outside field", r.Estimate)
+		}
+	}
+}
+
+func TestWeightedTopMDefaultsM(t *testing.T) {
+	div := buildDivision(t, 4, 2)
+	w := &WeightedTopM{Div: div} // M unset → 1
+	r := w.Match(div.Faces[0].Signature, nil)
+	if r.Face == nil {
+		t.Fatal("nil face")
+	}
+	if r.Visited != div.NumFaces() {
+		t.Errorf("Visited = %d, want all", r.Visited)
+	}
+}
+
+func TestIncrementalMatchesFull(t *testing.T) {
+	div := buildDivision(t, 16, 2)
+	full := &Heuristic{Div: div}
+	inc := &Heuristic{Div: div, Incremental: true}
+	rng := randx.New(21)
+	var prevF, prevI *field.Face
+	for trial := 0; trial < 200; trial++ {
+		// Noisy probe vectors, including stars.
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		v := div.FaceAt(p).Signature.Clone()
+		for j := 0; j < 4; j++ {
+			k := rng.Intn(len(v))
+			switch rng.Intn(3) {
+			case 0:
+				v[k] = vector.Flipped
+			case 1:
+				v[k] = vector.Nearer
+			default:
+				v[k] = vector.Star
+			}
+		}
+		rf := full.Match(v, prevF)
+		ri := inc.Match(v, prevI)
+		prevF, prevI = rf.Face, ri.Face
+		if rf.Face.ID != ri.Face.ID {
+			// Heap ties can break differently under float drift; accept
+			// equal-distance winners.
+			df := vector.Distance(v, rf.Face.Signature)
+			di := vector.Distance(v, ri.Face.Signature)
+			if math.Abs(df-di) > 1e-9 {
+				t.Fatalf("trial %d: incremental face %d (d=%v) != full %d (d=%v)",
+					trial, ri.Face.ID, di, rf.Face.ID, df)
+			}
+		}
+	}
+}
+
+func TestIncrementalExactMatch(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	inc := &Heuristic{Div: div, Incremental: true}
+	for i := 0; i < minInt(20, div.NumFaces()); i++ {
+		f := &div.Faces[i]
+		if len(f.Neighbors) == 0 {
+			continue
+		}
+		prev := &div.Faces[f.Neighbors[0]]
+		r := inc.Match(f.Signature, prev)
+		if r.Similarity < 1 {
+			t.Errorf("face %d from neighbor: similarity %v too low", f.ID, r.Similarity)
+		}
+	}
+}
+
+func TestNeighborDiffsConsistent(t *testing.T) {
+	div := buildDivision(t, 9, 2)
+	for _, f := range div.Faces {
+		if len(f.NeighborDiffs) != len(f.Neighbors) {
+			t.Fatalf("face %d: %d diffs for %d neighbors", f.ID, len(f.NeighborDiffs), len(f.Neighbors))
+		}
+		for ni, nb := range f.Neighbors {
+			nbSig := div.Faces[nb].Signature
+			// Every listed component differs, every unlisted matches.
+			listed := map[int]bool{}
+			for _, k := range f.NeighborDiffs[ni] {
+				listed[k] = true
+				if f.Signature[k] == nbSig[k] {
+					t.Fatalf("face %d↔%d: component %d listed but equal", f.ID, nb, k)
+				}
+			}
+			for k := range f.Signature {
+				if !listed[k] && f.Signature[k] != nbSig[k] {
+					t.Fatalf("face %d↔%d: component %d differs but unlisted", f.ID, nb, k)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkHeuristicFull(b *testing.B) {
+	benchHeuristic(b, false)
+}
+
+func BenchmarkHeuristicIncremental(b *testing.B) {
+	benchHeuristic(b, true)
+}
+
+func benchHeuristic(b *testing.B, incremental bool) {
+	d := deploy.Grid(fieldRect, 36)
+	c := rf.Default().UncertaintyC(1)
+	rc, err := field.NewRatioClassifier(d.Positions(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	div, err := field.Divide(fieldRect, rc, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := &Heuristic{Div: div, Incremental: incremental}
+	rng := randx.New(5)
+	v := div.FaceAt(geom.Pt(47, 53)).Signature.Clone()
+	for j := 0; j < 10; j++ {
+		v[rng.Intn(len(v))] = vector.Flipped
+	}
+	prev := div.FaceAt(geom.Pt(50, 50))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := h.Match(v, prev)
+		prev = r.Face
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+)
+
+// RandomWaypointPause is the classic random waypoint model with pause
+// times: on arriving at each waypoint the target rests for a uniform
+// pause in [0, maxPause] before moving on. Pauses stress the trackers
+// differently from continuous motion — a stationary target sits in one
+// face and exposes pure one-shot localization error.
+func RandomWaypointPause(field geom.Rect, vMin, vMax, maxPause, duration float64, rng *randx.Stream) Model {
+	if vMin <= 0 || vMax < vMin {
+		panic(fmt.Sprintf("mobility: invalid speed range [%v, %v]", vMin, vMax))
+	}
+	if maxPause < 0 {
+		panic(fmt.Sprintf("mobility: negative max pause %v", maxPause))
+	}
+	p := &path{}
+	cur := geom.Pt(
+		rng.Uniform(field.Min.X, field.Max.X),
+		rng.Uniform(field.Min.Y, field.Max.Y),
+	)
+	t := 0.0
+	for t < duration {
+		dst := geom.Pt(
+			rng.Uniform(field.Min.X, field.Max.X),
+			rng.Uniform(field.Min.Y, field.Max.Y),
+		)
+		v := rng.Uniform(vMin, vMax)
+		dt := cur.Dist(dst) / v
+		if dt < 1e-9 {
+			continue
+		}
+		p.legs = append(p.legs, leg{start: cur, end: dst, t0: t, t1: t + dt})
+		t += dt
+		cur = dst
+		if maxPause > 0 {
+			pause := rng.Uniform(0, maxPause)
+			if pause > 1e-9 {
+				p.legs = append(p.legs, leg{start: cur, end: cur, t0: t, t1: t + pause})
+				t += pause
+			}
+		}
+	}
+	return p
+}
+
+// GaussMarkov is the Gauss-Markov mobility model: speed and direction
+// evolve as mean-reverting AR(1) processes, producing smooth, temporally
+// correlated motion (alpha → 1 is nearly straight-line, alpha → 0 is
+// Brownian). The trajectory is precomputed at the given step so At is
+// deterministic; the target reflects off the field boundary.
+type GaussMarkov struct {
+	samples []geom.Point
+	step    float64
+}
+
+// NewGaussMarkov precomputes a Gauss-Markov trajectory of the given
+// duration. meanSpeed is the long-run speed (m/s), alpha ∈ [0, 1) the
+// memory parameter, step the integration step in seconds.
+func NewGaussMarkov(field geom.Rect, meanSpeed, alpha, duration, step float64, rng *randx.Stream) (*GaussMarkov, error) {
+	if meanSpeed <= 0 {
+		return nil, fmt.Errorf("mobility: mean speed must be positive, got %v", meanSpeed)
+	}
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("mobility: alpha must be in [0,1), got %v", alpha)
+	}
+	if step <= 0 || duration <= 0 {
+		return nil, fmt.Errorf("mobility: step and duration must be positive")
+	}
+	n := int(duration/step) + 2
+	g := &GaussMarkov{samples: make([]geom.Point, 0, n), step: step}
+
+	pos := geom.Pt(
+		rng.Uniform(field.Min.X, field.Max.X),
+		rng.Uniform(field.Min.Y, field.Max.Y),
+	)
+	speed := meanSpeed
+	dir := rng.Uniform(0, 2*math.Pi)
+	meanDir := dir
+	speedSigma := meanSpeed * 0.3
+	dirSigma := 0.5
+	sq := math.Sqrt(1 - alpha*alpha)
+	g.samples = append(g.samples, pos)
+	for i := 1; i < n; i++ {
+		speed = alpha*speed + (1-alpha)*meanSpeed + sq*rng.Normal(0, speedSigma)
+		if speed < 0 {
+			speed = 0
+		}
+		dir = alpha*dir + (1-alpha)*meanDir + sq*rng.Normal(0, dirSigma)
+		pos = pos.Add(geom.Vec{
+			X: speed * math.Cos(dir) * step,
+			Y: speed * math.Sin(dir) * step,
+		})
+		// Reflect at the boundary, flipping direction and its mean so
+		// the process heads back into the field.
+		if pos.X < field.Min.X || pos.X > field.Max.X {
+			dir = math.Pi - dir
+			meanDir = math.Pi - meanDir
+			pos = field.Clamp(pos)
+		}
+		if pos.Y < field.Min.Y || pos.Y > field.Max.Y {
+			dir = -dir
+			meanDir = -meanDir
+			pos = field.Clamp(pos)
+		}
+		g.samples = append(g.samples, pos)
+	}
+	return g, nil
+}
+
+// At implements Model by linear interpolation between precomputed steps.
+func (g *GaussMarkov) At(t float64) geom.Point {
+	if t <= 0 {
+		return g.samples[0]
+	}
+	pos := t / g.step
+	i := int(pos)
+	if i >= len(g.samples)-1 {
+		return g.samples[len(g.samples)-1]
+	}
+	frac := pos - float64(i)
+	a, b := g.samples[i], g.samples[i+1]
+	return geom.Pt(a.X+frac*(b.X-a.X), a.Y+frac*(b.Y-a.Y))
+}

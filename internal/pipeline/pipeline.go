@@ -1,0 +1,149 @@
+// Package pipeline assembles the full online tracking system the paper's
+// outdoor deployment ran: a WSN substrate collecting grouping samplings
+// over the radio, the FTTT tracker matching them, and an optional output
+// smoother — all driven by the discrete-event virtual clock, with a
+// channel-based streaming interface for consumers that want estimates as
+// they are produced.
+package pipeline
+
+import (
+	"fmt"
+
+	"fttt/internal/core"
+	"fttt/internal/filter"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/wsnnet"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Net carries the reports (required).
+	Net *wsnnet.Network
+	// Tracker localizes each collected group (required).
+	Tracker *core.Tracker
+	// Smoother optionally filters the raw estimates.
+	Smoother filter.Smoother
+	// Period is the time between localization rounds in seconds.
+	Period float64
+	// K is the grouping sampling times per round.
+	K int
+	// WakeRadius, when positive, duty-cycles the collection: only nodes
+	// within this radius of the previous estimate stay awake.
+	WakeRadius float64
+}
+
+// Update is one localization round's outcome.
+type Update struct {
+	T     float64
+	True  geom.Point
+	Raw   geom.Point
+	Final geom.Point // smoothed, or Raw when no smoother is configured
+	Error float64    // |Final - True|
+	Stats wsnnet.RoundStats
+}
+
+// Service is a ready-to-run online tracking pipeline.
+type Service struct {
+	cfg  Config
+	prev geom.Point
+	have bool
+}
+
+// New validates and assembles a Service.
+func New(cfg Config) (*Service, error) {
+	if cfg.Net == nil || cfg.Tracker == nil {
+		return nil, fmt.Errorf("pipeline: Net and Tracker are required")
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("pipeline: Period must be positive, got %v", cfg.Period)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("pipeline: K must be ≥ 1, got %d", cfg.K)
+	}
+	return &Service{cfg: cfg}, nil
+}
+
+// Run tracks the target for duration virtual seconds, producing one
+// Update per localization round, scheduled on the network's virtual
+// clock. It is deterministic given rng.
+func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream) []Update {
+	engine := s.cfg.Net.Engine()
+	rounds := int(duration/s.cfg.Period) + 1
+	updates := make([]Update, 0, rounds)
+
+	var round func(i int)
+	round = func(i int) {
+		t := engine.Now()
+		truth := target.At(t)
+		var st wsnnet.RoundStats
+		var raw geom.Point
+		if s.cfg.WakeRadius > 0 && s.have {
+			gg, stats := s.cfg.Net.CollectRoundFocused(truth, s.prev, s.cfg.WakeRadius, s.cfg.K, rng.SplitN("round", i))
+			st = stats
+			raw = s.cfg.Tracker.LocalizeGroup(gg).Pos
+		} else {
+			gg, stats := s.cfg.Net.CollectRound(truth, s.cfg.K, rng.SplitN("round", i))
+			st = stats
+			raw = s.cfg.Tracker.LocalizeGroup(gg).Pos
+		}
+		s.prev, s.have = raw, true
+
+		final := raw
+		if s.cfg.Smoother != nil {
+			dt := s.cfg.Period
+			if len(updates) == 0 {
+				dt = 0
+			}
+			final = s.cfg.Smoother.Update(raw, dt)
+		}
+		updates = append(updates, Update{
+			T:     t,
+			True:  truth,
+			Raw:   raw,
+			Final: final,
+			Error: final.Dist(truth),
+			Stats: st,
+		})
+		if i+1 < rounds {
+			// CollectRound may have advanced the clock past the
+			// delivery latency; schedule relative to the round grid.
+			next := float64(i+1) * s.cfg.Period
+			if next < engine.Now() {
+				next = engine.Now()
+			}
+			engine.Schedule(next, func() { round(i + 1) })
+		}
+	}
+	engine.Schedule(engine.Now(), func() { round(0) })
+	engine.Run()
+	return updates
+}
+
+// Stream runs the pipeline in a goroutine and delivers Updates on the
+// returned channel, which is closed when the run completes. The channel
+// is unbuffered: the pipeline advances at the consumer's pace (virtual
+// time, not wall time).
+func (s *Service) Stream(target mobility.Model, duration float64, rng *randx.Stream) <-chan Update {
+	ch := make(chan Update)
+	go func() {
+		defer close(ch)
+		for _, u := range s.Run(target, duration, rng) {
+			ch <- u
+		}
+	}()
+	return ch
+}
+
+// MeanError summarises a run.
+func MeanError(updates []Update) float64 {
+	if len(updates) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range updates {
+		sum += u.Error
+	}
+	return sum / float64(len(updates))
+}

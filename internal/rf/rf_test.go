@@ -1,0 +1,196 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/randx"
+)
+
+func TestMeanRSSMonotone(t *testing.T) {
+	m := Default()
+	prev := math.Inf(1)
+	for d := 0.5; d <= 200; d += 0.5 {
+		rss := m.MeanRSS(d)
+		if rss > prev {
+			t.Fatalf("MeanRSS not monotone decreasing at d=%v", d)
+		}
+		prev = rss
+	}
+}
+
+func TestMeanRSSReference(t *testing.T) {
+	m := Default()
+	// At d0 = 1 m the log term vanishes.
+	if got := m.MeanRSS(1); got != m.P0+m.A {
+		t.Errorf("MeanRSS(1) = %v, want %v", got, m.P0+m.A)
+	}
+	// One decade of distance costs 10β dB.
+	if got := m.MeanRSS(1) - m.MeanRSS(10); math.Abs(got-10*m.Beta) > 1e-9 {
+		t.Errorf("decade loss = %v, want %v", got, 10*m.Beta)
+	}
+}
+
+func TestMeanRSSFloorsDistance(t *testing.T) {
+	m := Default()
+	if got, want := m.MeanRSS(0), m.MeanRSS(m.MinDist); got != want {
+		t.Errorf("MeanRSS(0) = %v, want floored %v", got, want)
+	}
+	if math.IsInf(m.MeanRSS(0), 0) || math.IsNaN(m.MeanRSS(0)) {
+		t.Error("MeanRSS(0) must be finite")
+	}
+}
+
+func TestInvertMeanRSSRoundTrip(t *testing.T) {
+	m := Default()
+	for _, d := range []float64{0.5, 1, 3, 10, 40, 100} {
+		got := m.InvertMeanRSS(m.MeanRSS(d))
+		if math.Abs(got-d) > 1e-9*d {
+			t.Errorf("round trip d=%v got %v", d, got)
+		}
+	}
+	// Extremely strong signals floor at MinDist.
+	if got := m.InvertMeanRSS(1e6); got != m.MinDist {
+		t.Errorf("InvertMeanRSS(1e6) = %v, want MinDist", got)
+	}
+}
+
+func TestSampleRSSNoiseStatistics(t *testing.T) {
+	m := Default()
+	rng := randx.New(5)
+	const n = 100000
+	var sum, sum2 float64
+	mu := m.MeanRSS(20)
+	for i := 0; i < n; i++ {
+		v := m.SampleRSS(20, rng)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean-mu) > 0.1 {
+		t.Errorf("sample mean = %v, want ≈%v", mean, mu)
+	}
+	if math.Abs(sd-m.SigmaX) > 0.1 {
+		t.Errorf("sample stddev = %v, want ≈%v", sd, m.SigmaX)
+	}
+}
+
+func TestSampleRSSNoiseless(t *testing.T) {
+	m := Default()
+	m.SigmaX = 0
+	rng := randx.New(5)
+	if got := m.SampleRSS(20, rng); got != m.MeanRSS(20) {
+		t.Errorf("noiseless sample = %v, want mean %v", got, m.MeanRSS(20))
+	}
+}
+
+func TestUncertaintyC(t *testing.T) {
+	m := Default() // β=4, σ=6
+	a := math.Ln10 / 40
+	want := math.Exp(a*1 + a*a*36)
+	if got := m.UncertaintyC(1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("C = %v, want %v", got, want)
+	}
+	if got := m.UncertaintyC(1); got <= 1 {
+		t.Errorf("C must exceed 1, got %v", got)
+	}
+	// C grows with ε and with σ.
+	if m.UncertaintyC(2) <= m.UncertaintyC(1) {
+		t.Error("C should grow with ε")
+	}
+	m2 := m
+	m2.SigmaX = 12
+	if m2.UncertaintyC(1) <= m.UncertaintyC(1) {
+		t.Error("C should grow with σ_X")
+	}
+	// Noise-free, zero-resolution sensing degenerates to C = 1 (certain
+	// bisector division).
+	m3 := m
+	m3.SigmaX = 0
+	if got := m3.UncertaintyC(0); got != 1 {
+		t.Errorf("C(ε=0, σ=0) = %v, want 1", got)
+	}
+}
+
+func TestUncertaintyCLowerBetaWiderArea(t *testing.T) {
+	// Smaller β makes RSS differences smaller, so uncertainty widens.
+	m4 := Default()
+	m2 := Default()
+	m2.Beta = 2
+	if m2.UncertaintyC(1) <= m4.UncertaintyC(1) {
+		t.Error("C should be larger for smaller β")
+	}
+}
+
+func TestFlipProbability(t *testing.T) {
+	m := Default()
+	// Equidistant target flips half the time.
+	if got := m.FlipProbability(10, 10); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("equidistant flip prob = %v, want 0.5", got)
+	}
+	// Flip probability decays with separation and is symmetric.
+	p1 := m.FlipProbability(5, 10)
+	p2 := m.FlipProbability(10, 5)
+	if p1 != p2 {
+		t.Errorf("flip prob asymmetric: %v vs %v", p1, p2)
+	}
+	p3 := m.FlipProbability(2, 10)
+	if !(p3 < p1 && p1 < 0.5) {
+		t.Errorf("flip prob should decay: p(2,10)=%v p(5,10)=%v", p3, p1)
+	}
+	if p3 < 0 || p3 > 1 {
+		t.Errorf("flip prob out of [0,1]: %v", p3)
+	}
+}
+
+func TestFlipProbabilityNoiseless(t *testing.T) {
+	m := Default()
+	m.SigmaX = 0
+	if got := m.FlipProbability(5, 10); got != 0 {
+		t.Errorf("noiseless distinct flip prob = %v, want 0", got)
+	}
+	if got := m.FlipProbability(7, 7); got != 0.5 {
+		t.Errorf("noiseless equidistant flip prob = %v, want 0.5", got)
+	}
+}
+
+func TestFlipProbabilityEmpirical(t *testing.T) {
+	// Monte-Carlo check of the analytic flip probability.
+	m := Default()
+	rng := randx.New(77)
+	dm, dn := 12.0, 15.0
+	want := m.FlipProbability(dm, dn)
+	const n = 200000
+	flips := 0
+	for i := 0; i < n; i++ {
+		// True order: dm < dn so RSS_m should exceed RSS_n.
+		if m.SampleRSS(dm, rng) <= m.SampleRSS(dn, rng) {
+			flips++
+		}
+	}
+	got := float64(flips) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical flip prob = %v, analytic %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := NewModel(-40, 0, 4, 6); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	if _, err := NewModel(-40, 0, 0, 6); err == nil {
+		t.Error("β=0 should be rejected")
+	}
+	if _, err := NewModel(-40, 0, -1, 6); err == nil {
+		t.Error("β<0 should be rejected")
+	}
+	if _, err := NewModel(-40, 0, 4, -1); err == nil {
+		t.Error("σ<0 should be rejected")
+	}
+	m := Default()
+	m.MinDist = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative MinDist should be rejected")
+	}
+}

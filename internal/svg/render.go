@@ -1,0 +1,66 @@
+package svg
+
+import (
+	"io"
+
+	"fttt/internal/field"
+	"fttt/internal/geom"
+)
+
+// RenderDivision draws a field division: cells tinted by face, the
+// sensors as black dots, and optionally the Apollonius boundary circles.
+// cellStride downsamples the raster (1 = every cell) to keep files small.
+func RenderDivision(w io.Writer, div *field.Division, nodes []geom.Point, circles []geom.Circle, cellStride int) error {
+	if cellStride < 1 {
+		cellStride = 1
+	}
+	d := New(div.Field.Width(), div.Field.Height(), 6)
+	cs := div.CellSize * float64(cellStride)
+	for r := 0; r < div.Rows; r += cellStride {
+		for c := 0; c < div.Cols; c += cellStride {
+			center := div.CellCenter(c, r)
+			f := div.FaceAt(center)
+			d.Rect(center.X-cs/2, center.Y-cs/2, cs, cs, Palette(f.ID), "", 0)
+		}
+	}
+	for _, circ := range circles {
+		d.Circle(circ.C.X, circ.C.Y, circ.R, "", "#00000033", 0.7)
+	}
+	for _, n := range nodes {
+		d.Circle(n.X, n.Y, 0.8, "#000000", "", 0)
+	}
+	d.Rect(div.Field.Min.X, div.Field.Min.Y, div.Field.Width(), div.Field.Height(), "", "#000000", 1)
+	_, err := d.WriteTo(w)
+	return err
+}
+
+// RenderTrack draws a tracking run like Fig. 10: the true trace as a
+// solid line, estimates as × markers joined by a light line, sensors as
+// dots.
+func RenderTrack(w io.Writer, fieldRect geom.Rect, nodes, truth, estimates []geom.Point) error {
+	d := New(fieldRect.Width(), fieldRect.Height(), 6)
+	d.Rect(fieldRect.Min.X, fieldRect.Min.Y, fieldRect.Width(), fieldRect.Height(), "#fcfcfc", "#000000", 1)
+	flat := func(pts []geom.Point) []float64 {
+		xy := make([]float64, 0, 2*len(pts))
+		for _, p := range pts {
+			xy = append(xy, p.X, p.Y)
+		}
+		return xy
+	}
+	if len(estimates) >= 2 {
+		d.Polyline(flat(estimates), "#cc444466", 0.8)
+	}
+	if len(truth) >= 2 {
+		d.Polyline(flat(truth), "#2255cc", 1.6)
+	}
+	for _, e := range estimates {
+		d.Cross(e.X, e.Y, 0.7, "#cc4444", 0.8)
+	}
+	for _, n := range nodes {
+		d.Circle(n.X, n.Y, 0.9, "#000000", "", 0)
+	}
+	d.Text(fieldRect.Min.X+1, fieldRect.Max.Y-2, 11, "#2255cc", "true trace")
+	d.Text(fieldRect.Min.X+1, fieldRect.Max.Y-5, 11, "#cc4444", "estimates")
+	_, err := d.WriteTo(w)
+	return err
+}

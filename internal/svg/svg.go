@@ -1,0 +1,128 @@
+// Package svg is a minimal SVG document builder used to render field
+// divisions, deployments and tracking traces as standalone .svg files —
+// the repository's equivalent of the paper's figures. Only the handful
+// of elements the renderers need are implemented; everything is plain
+// strings, no external dependencies.
+package svg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Doc accumulates SVG elements in a user coordinate system that is
+// y-flipped to match the field convention (y grows upward).
+type Doc struct {
+	width, height float64
+	scale         float64
+	body          strings.Builder
+}
+
+// New creates a document rendering a worldW×worldH area at the given
+// pixel scale (pixels per world unit).
+func New(worldW, worldH, scale float64) *Doc {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Doc{width: worldW * scale, height: worldH * scale, scale: scale}
+}
+
+// x/y convert world coordinates to pixel coordinates (y flipped).
+func (d *Doc) x(v float64) float64 { return v * d.scale }
+func (d *Doc) y(v float64) float64 { return d.height - v*d.scale }
+
+// Rect draws an axis-aligned rectangle given by its lower-left corner
+// and size in world units.
+func (d *Doc) Rect(x, y, w, h float64, fill, stroke string, strokeWidth float64) {
+	fmt.Fprintf(&d.body,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		d.x(x), d.y(y+h), w*d.scale, h*d.scale, orNone(fill), orNone(stroke), strokeWidth)
+}
+
+// Circle draws a circle centred at (cx, cy) with radius r (world units).
+func (d *Doc) Circle(cx, cy, r float64, fill, stroke string, strokeWidth float64) {
+	fmt.Fprintf(&d.body,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		d.x(cx), d.y(cy), r*d.scale, orNone(fill), orNone(stroke), strokeWidth)
+}
+
+// Line draws a segment.
+func (d *Doc) Line(x1, y1, x2, y2 float64, stroke string, strokeWidth float64) {
+	fmt.Fprintf(&d.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		d.x(x1), d.y(y1), d.x(x2), d.y(y2), orNone(stroke), strokeWidth)
+}
+
+// Polyline draws a connected path through the points (flat x,y pairs).
+func (d *Doc) Polyline(xy []float64, stroke string, strokeWidth float64) {
+	if len(xy) < 4 || len(xy)%2 != 0 {
+		return
+	}
+	var pts strings.Builder
+	for i := 0; i < len(xy); i += 2 {
+		fmt.Fprintf(&pts, "%.2f,%.2f ", d.x(xy[i]), d.y(xy[i+1]))
+	}
+	fmt.Fprintf(&d.body,
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		strings.TrimSpace(pts.String()), orNone(stroke), strokeWidth)
+}
+
+// Text places a label anchored at (x, y), world units, with the given
+// pixel font size.
+func (d *Doc) Text(x, y float64, size float64, fill, s string) {
+	fmt.Fprintf(&d.body,
+		`<text x="%.2f" y="%.2f" font-size="%.1f" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+		d.x(x), d.y(y), size, orNone(fill), escape(s))
+}
+
+// Cross draws an ×-marker of half-size r at (x, y).
+func (d *Doc) Cross(x, y, r float64, stroke string, strokeWidth float64) {
+	d.Line(x-r, y-r, x+r, y+r, stroke, strokeWidth)
+	d.Line(x-r, y+r, x+r, y-r, stroke, strokeWidth)
+}
+
+// WriteTo emits the complete SVG document.
+func (d *Doc) WriteTo(w io.Writer) (int64, error) {
+	var out strings.Builder
+	fmt.Fprintf(&out,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		d.width, d.height, d.width, d.height)
+	out.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	out.WriteString(d.body.String())
+	out.WriteString("</svg>\n")
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}
+
+// String returns the document as a string.
+func (d *Doc) String() string {
+	var sb strings.Builder
+	d.WriteTo(&sb) //nolint:errcheck — strings.Builder cannot fail
+	return sb.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Palette returns a deterministic categorical colour for index i — used
+// to tint faces.
+func Palette(i int) string {
+	palette := []string{
+		"#e6f2ff", "#ffe6e6", "#e6ffe6", "#fff5e6", "#f2e6ff",
+		"#e6ffff", "#ffffe6", "#ffe6f5", "#eef2e6", "#e6e9ff",
+	}
+	if i < 0 {
+		i = -i
+	}
+	return palette[i%len(palette)]
+}

@@ -1,0 +1,106 @@
+package svg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fttt/internal/deploy"
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/rf"
+)
+
+func TestDocBasicElements(t *testing.T) {
+	d := New(100, 50, 2)
+	d.Rect(0, 0, 10, 10, "#ff0000", "#000000", 1)
+	d.Circle(50, 25, 5, "", "#00ff00", 2)
+	d.Line(0, 0, 100, 50, "#0000ff", 1)
+	d.Polyline([]float64{0, 0, 10, 10, 20, 0}, "#123456", 1)
+	d.Text(5, 5, 12, "#000", "hello & <world>")
+	d.Cross(30, 30, 2, "#999", 1)
+	out := d.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<rect", "<circle", "<line", "<polyline", "<text",
+		"hello &amp; &lt;world&gt;",
+		`width="200"`, `height="100"`, // 2× scale
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	d := New(100, 100, 1)
+	d.Circle(0, 0, 1, "#000", "", 0) // world origin → bottom-left
+	out := d.String()
+	// cy should be at pixel 100 (bottom), not 0.
+	if !strings.Contains(out, `cy="100.00"`) {
+		t.Errorf("world (0,0) should map to pixel y=100:\n%s", out)
+	}
+}
+
+func TestPolylineDegenerate(t *testing.T) {
+	d := New(10, 10, 1)
+	d.Polyline([]float64{1, 2}, "#000", 1)    // too short
+	d.Polyline([]float64{1, 2, 3}, "#000", 1) // odd length
+	if strings.Contains(d.String(), "<polyline") {
+		t.Error("degenerate polylines should be skipped")
+	}
+}
+
+func TestPaletteDeterministicAndCyclic(t *testing.T) {
+	if Palette(3) != Palette(3) {
+		t.Error("palette not deterministic")
+	}
+	if Palette(0) != Palette(10) {
+		t.Error("palette should cycle with period 10")
+	}
+	if Palette(-2) == "" {
+		t.Error("negative index should still map")
+	}
+}
+
+func TestRenderDivision(t *testing.T) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Grid(fieldRect, 4)
+	rc, err := field.NewRatioClassifier(dep.Positions(), rf.Default().UncertaintyC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := field.Divide(fieldRect, rc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderDivision(&buf, div, dep.Positions(), nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(out, "<circle") < 4 {
+		t.Error("sensor markers missing")
+	}
+}
+
+func TestRenderTrack(t *testing.T) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Grid(fieldRect, 9)
+	truth := []geom.Point{geom.Pt(10, 10), geom.Pt(50, 50), geom.Pt(90, 20)}
+	est := []geom.Point{geom.Pt(12, 9), geom.Pt(48, 53), geom.Pt(88, 22)}
+	var buf bytes.Buffer
+	if err := RenderTrack(&buf, fieldRect, dep.Positions(), truth, est); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("expected 2 polylines (truth + estimates), got %d",
+			strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, "true trace") {
+		t.Error("legend missing")
+	}
+}

@@ -1,0 +1,459 @@
+// Package wsnnet simulates the wireless sensor network substrate that
+// carried FTTT's reports in the paper's outdoor system (Fig. 13): motes
+// sample the target's signal, build report packets and forward them hop
+// by hop to a base station over a unit-disk radio graph with per-hop
+// delay, loss and a first-order radio energy model.
+//
+// This package is the documented substitution for the Crossbow IRIS +
+// MIB520 hardware (DESIGN.md §2): the tracking algorithms only ever see
+// which reports reached the base station and what RSS values they carry,
+// which is exactly what CollectRound reproduces.
+package wsnnet
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/desim"
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// Config parameterises the network substrate.
+type Config struct {
+	// Nodes are the sensor positions in ID order.
+	Nodes []geom.Point
+	// BaseStation is where reports are collected.
+	BaseStation geom.Point
+	// Model generates the target-signal RSS (eq. 1).
+	Model rf.Model
+	// SensingRange is R: nodes farther from the target do not hear it.
+	// Zero disables the limit.
+	SensingRange float64
+	// CommRange is the radio range between motes (and to the base
+	// station); it defines the unit-disk forwarding graph.
+	CommRange float64
+	// HopLoss is the probability that one hop's transmission is lost.
+	HopLoss float64
+	// HopDelay is the per-hop forwarding latency in seconds.
+	HopDelay float64
+	// ReportBits is the payload size of one report packet in bits.
+	ReportBits float64
+	// Epsilon is the motes' sensing resolution ε, copied into every
+	// collected Group.
+	Epsilon float64
+	// InitialEnergy is each mote's starting battery in joules; 0 means
+	// unmetered (energy is tracked but never exhausts).
+	InitialEnergy float64
+	// ContentionSlots models a slotted contention MAC: every reporting
+	// node picks a uniform slot in [0, ContentionSlots); two nodes on
+	// the same slot within interference range (2·CommRange) collide and
+	// both rounds' reports are lost. 0 disables contention (ideal MAC).
+	// Clustered collection gives cluster members TDMA slots (collision
+	// free) with only heads contending — the clustering benefit [28].
+	ContentionSlots int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Nodes) < 1 {
+		return fmt.Errorf("wsnnet: need at least one node")
+	}
+	if c.CommRange <= 0 {
+		return fmt.Errorf("wsnnet: CommRange must be positive, got %v", c.CommRange)
+	}
+	if c.HopLoss < 0 || c.HopLoss >= 1 {
+		return fmt.Errorf("wsnnet: HopLoss must be in [0,1), got %v", c.HopLoss)
+	}
+	if c.HopDelay < 0 {
+		return fmt.Errorf("wsnnet: HopDelay must be non-negative, got %v", c.HopDelay)
+	}
+	return c.Model.Validate()
+}
+
+// First-order radio energy model constants (per bit and per bit·m²),
+// the standard values used throughout the WSN literature, plus the
+// sensing cost of one RSS sample.
+const (
+	elecEnergyPerBit = 50e-9   // J/bit for TX/RX electronics
+	ampEnergyPerBit  = 100e-12 // J/(bit·m²) for the TX amplifier
+	sampleEnergy     = 2e-6    // J per RSS sample (ADC + radio listen)
+)
+
+// Network is a ready-to-run substrate instance.
+type Network struct {
+	cfg    Config
+	engine *desim.Engine
+	// Energy[i] is node i's consumed energy in joules.
+	Energy []float64
+	// Alive[i] reports whether node i still has battery (always true
+	// when InitialEnergy == 0).
+	Alive []bool
+	// nextHop[i] is the precomputed greedy-geographic next hop of node i
+	// toward the base station: -1 means deliver directly (BS in range),
+	// -2 means stuck in a greedy routing void.
+	nextHop []int
+	// bfsNext[i] is the rescue next hop from a BFS (shortest-hop) tree
+	// rooted at the base station over the full unit-disk graph: when the
+	// greedy rule voids, forwarding falls back to this tree — the
+	// route-discovery detour real stacks perform. -1 delivers directly,
+	// -2 means truly disconnected.
+	bfsNext []int
+}
+
+// New validates the config and precomputes the forwarding graph.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:    cfg,
+		engine: &desim.Engine{},
+		Energy: make([]float64, len(cfg.Nodes)),
+		Alive:  make([]bool, len(cfg.Nodes)),
+	}
+	for i := range n.Alive {
+		n.Alive[i] = true
+	}
+	n.nextHop = make([]int, len(cfg.Nodes))
+	for i, p := range cfg.Nodes {
+		n.nextHop[i] = n.greedyNextHop(i, p)
+	}
+	n.buildBFSTree()
+	return n, nil
+}
+
+// buildBFSTree computes shortest-hop rescue routes from every node to the
+// base station over the unit-disk graph.
+func (n *Network) buildBFSTree() {
+	nn := len(n.cfg.Nodes)
+	n.bfsNext = make([]int, nn)
+	for i := range n.bfsNext {
+		n.bfsNext[i] = -2
+	}
+	// Frontier 0: nodes hearing the BS directly.
+	var frontier []int
+	for i, p := range n.cfg.Nodes {
+		if p.Dist(n.cfg.BaseStation) <= n.cfg.CommRange {
+			n.bfsNext[i] = -1
+			frontier = append(frontier, i)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for v, q := range n.cfg.Nodes {
+				if n.bfsNext[v] != -2 || v == u {
+					continue
+				}
+				if q.Dist(n.cfg.Nodes[u]) <= n.cfg.CommRange {
+					n.bfsNext[v] = u
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+}
+
+// greedyNextHop picks the neighbor strictly closer to the base station,
+// preferring the closest; -1 delivers directly; -2 marks a void.
+func (n *Network) greedyNextHop(i int, p geom.Point) int {
+	bs := n.cfg.BaseStation
+	if p.Dist(bs) <= n.cfg.CommRange {
+		return -1
+	}
+	best, bestDist := -2, p.Dist(bs)
+	for j, q := range n.cfg.Nodes {
+		if j == i || p.Dist(q) > n.cfg.CommRange {
+			continue
+		}
+		if d := q.Dist(bs); d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// Engine exposes the virtual clock for callers that interleave other
+// events.
+func (n *Network) Engine() *desim.Engine { return n.engine }
+
+// PathTo returns the forwarding path from node i to the base station as a
+// node-ID list (excluding the BS), and ok=false if i is disconnected.
+// Greedy geographic forwarding is used while it makes progress; when it
+// voids, the remainder of the path follows the BFS rescue tree.
+func (n *Network) PathTo(i int) (path []int, ok bool) {
+	rescued := false
+	for hop := i; ; {
+		path = append(path, hop)
+		next := n.nextHop[hop]
+		if rescued || next == -2 {
+			rescued = true
+			next = n.bfsNext[hop]
+		}
+		switch next {
+		case -1:
+			return path, true
+		case -2:
+			return path, false
+		}
+		if len(path) > len(n.cfg.Nodes) {
+			return path, false // defensive: cycle
+		}
+		hop = next
+	}
+}
+
+// RoundStats summarises one collection round.
+type RoundStats struct {
+	// Heard is how many nodes sensed the target.
+	Heard int
+	// Delivered is how many reports reached the base station.
+	Delivered int
+	// LostHops is how many reports died to per-hop loss.
+	LostHops int
+	// Voids is how many reports could not be routed at all.
+	Voids int
+	// Dead is how many sensing nodes had exhausted batteries.
+	Dead int
+	// Asleep is how many in-range nodes were duty-cycled off this round
+	// (CollectRoundFocused only).
+	Asleep int
+	// Collisions is how many reports died to MAC contention.
+	Collisions int
+	// MaxLatency is the slowest delivered report's network latency in
+	// seconds.
+	MaxLatency float64
+	// EnergySpent is the total energy consumed this round in joules.
+	EnergySpent float64
+}
+
+// CollectRound runs one localization round at the current virtual time:
+// every alive node within sensing range of target samples k RSS values
+// and forwards a report to the base station. The returned Group contains
+// exactly the reports that arrived — lost or unroutable reports leave
+// their node in N̄_r, feeding FTTT's fault-tolerance rules (eq. 6).
+func (n *Network) CollectRound(target geom.Point, k int, rng *randx.Stream) (*sampling.Group, RoundStats) {
+	return n.collectRound(target, k, rng, nil)
+}
+
+// CollectRoundFocused is CollectRound with duty cycling: only nodes
+// within wakeRadius of the focus point (typically the previous location
+// estimate inflated by the target's maximum displacement) stay awake;
+// the rest sleep through the round, spending nothing but also not
+// reporting. Tracking-driven wake-up is the standard energy lever in
+// target-tracking WSNs; the DutyCycling experiment quantifies the
+// energy/accuracy trade.
+func (n *Network) CollectRoundFocused(target, focus geom.Point, wakeRadius float64, k int, rng *randx.Stream) (*sampling.Group, RoundStats) {
+	awake := func(i int) bool {
+		return n.cfg.Nodes[i].Dist(focus) <= wakeRadius
+	}
+	return n.collectRound(target, k, rng, awake)
+}
+
+func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awake func(i int) bool) (*sampling.Group, RoundStats) {
+	nn := len(n.cfg.Nodes)
+	g := &sampling.Group{
+		RSS:      make([][]float64, k),
+		Reported: make([]bool, nn),
+		Epsilon:  n.cfg.Epsilon,
+	}
+	for t := range g.RSS {
+		g.RSS[t] = make([]float64, nn)
+	}
+	var stats RoundStats
+	energyBefore := total(n.Energy)
+	loss := rng.Split("hop-loss")
+	collided := n.contention(target, awake, rng)
+
+	for i, p := range n.cfg.Nodes {
+		if n.cfg.SensingRange > 0 && p.Dist(target) > n.cfg.SensingRange {
+			continue
+		}
+		stats.Heard++
+		if awake != nil && !awake(i) {
+			stats.Asleep++
+			continue
+		}
+		if !n.Alive[i] {
+			stats.Dead++
+			continue
+		}
+		if collided[i] {
+			// The report was transmitted (energy spent) but destroyed by
+			// a same-slot neighbor.
+			n.spend(i, sampleEnergy*float64(k)+txEnergy(n.cfg.ReportBits, n.cfg.CommRange))
+			stats.Collisions++
+			continue
+		}
+		// Sample the target's signal (shadowing constant within the
+		// group, fast noise per instant — see rf.Model.FastFraction).
+		nodeRng := rng.SplitN("node-noise", i)
+		d := p.Dist(target)
+		n.spend(i, sampleEnergy*float64(k))
+		mean := n.cfg.Model.MeanRSS(d) + nodeRng.Normal(0, n.cfg.Model.SigmaSlow())
+		sf := n.cfg.Model.SigmaFast()
+		samples := make([]float64, k)
+		for t := 0; t < k; t++ {
+			samples[t] = mean + nodeRng.Normal(0, sf)
+		}
+		// Forward the report hop by hop.
+		path, routable := n.PathTo(i)
+		if !routable {
+			stats.Voids++
+			continue
+		}
+		delivered := true
+		latency := 0.0
+		for hi, hop := range path {
+			// TX cost at this hop; RX cost at the receiver (next hop or BS).
+			var rxPos geom.Point
+			if hi+1 < len(path) {
+				rxPos = n.cfg.Nodes[path[hi+1]]
+			} else {
+				rxPos = n.cfg.BaseStation
+			}
+			n.spend(hop, txEnergy(n.cfg.ReportBits, n.cfg.Nodes[hop].Dist(rxPos)))
+			if hi+1 < len(path) {
+				n.spend(path[hi+1], rxEnergy(n.cfg.ReportBits))
+			}
+			latency += n.cfg.HopDelay
+			if loss.Bernoulli(n.cfg.HopLoss) {
+				delivered = false
+				stats.LostHops++
+				break
+			}
+		}
+		if !delivered {
+			continue
+		}
+		stats.Delivered++
+		if latency > stats.MaxLatency {
+			stats.MaxLatency = latency
+		}
+		g.Reported[i] = true
+		for t := 0; t < k; t++ {
+			g.RSS[t][i] = samples[t]
+		}
+	}
+	// Advance the virtual clock past the slowest delivery.
+	if stats.MaxLatency > 0 {
+		n.engine.ScheduleIn(stats.MaxLatency, func() {})
+		n.engine.Run()
+	}
+	stats.EnergySpent = total(n.Energy) - energyBefore
+	return g, stats
+}
+
+// contention simulates the slotted MAC for one round and returns the set
+// of transmitters destroyed by collisions. Nil when contention is off.
+func (n *Network) contention(target geom.Point, awake func(i int) bool, rng *randx.Stream) map[int]bool {
+	if n.cfg.ContentionSlots <= 0 {
+		return nil
+	}
+	mac := rng.Split("mac")
+	type tx struct {
+		id   int
+		slot int
+	}
+	var txs []tx
+	for i, p := range n.cfg.Nodes {
+		if n.cfg.SensingRange > 0 && p.Dist(target) > n.cfg.SensingRange {
+			continue
+		}
+		if awake != nil && !awake(i) {
+			continue
+		}
+		if !n.Alive[i] {
+			continue
+		}
+		txs = append(txs, tx{id: i, slot: mac.Intn(n.cfg.ContentionSlots)})
+	}
+	collided := make(map[int]bool)
+	interference := 2 * n.cfg.CommRange
+	for a := 0; a < len(txs); a++ {
+		for b := a + 1; b < len(txs); b++ {
+			if txs[a].slot != txs[b].slot {
+				continue
+			}
+			if n.cfg.Nodes[txs[a].id].Dist(n.cfg.Nodes[txs[b].id]) <= interference {
+				collided[txs[a].id] = true
+				collided[txs[b].id] = true
+			}
+		}
+	}
+	return collided
+}
+
+// spend debits energy from node i and kills it when the battery empties.
+func (n *Network) spend(i int, joules float64) {
+	n.Energy[i] += joules
+	if n.cfg.InitialEnergy > 0 && n.Energy[i] >= n.cfg.InitialEnergy {
+		n.Alive[i] = false
+	}
+}
+
+// Kill marks node i dead regardless of battery — fault injection for the
+// fault-tolerance experiments.
+func (n *Network) Kill(i int) { n.Alive[i] = false }
+
+// Revive restores node i (its consumed energy is kept).
+func (n *Network) Revive(i int) {
+	if n.cfg.InitialEnergy == 0 || n.Energy[i] < n.cfg.InitialEnergy {
+		n.Alive[i] = true
+	}
+}
+
+// AliveCount returns how many nodes are alive.
+func (n *Network) AliveCount() int {
+	c := 0
+	for _, a := range n.Alive {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+func txEnergy(bits, dist float64) float64 {
+	return elecEnergyPerBit*bits + ampEnergyPerBit*bits*dist*dist
+}
+
+func rxEnergy(bits float64) float64 { return elecEnergyPerBit * bits }
+
+func total(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// HopCount returns the number of hops from node i to the base station
+// (1 = direct), and ok=false for voids.
+func (n *Network) HopCount(i int) (int, bool) {
+	path, ok := n.PathTo(i)
+	if !ok {
+		return 0, false
+	}
+	return len(path), true
+}
+
+// MeanHopCount averages HopCount over all routable nodes; NaN when none
+// are routable.
+func (n *Network) MeanHopCount() float64 {
+	sum, cnt := 0, 0
+	for i := range n.cfg.Nodes {
+		if h, ok := n.HopCount(i); ok {
+			sum += h
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return float64(sum) / float64(cnt)
+}

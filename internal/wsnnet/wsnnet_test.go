@@ -1,0 +1,341 @@
+package wsnnet
+
+import (
+	"math"
+	"testing"
+
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+)
+
+var fieldRect = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+
+func testConfig(n int) Config {
+	d := deploy.Grid(fieldRect, n)
+	return Config{
+		Nodes:        d.Positions(),
+		BaseStation:  geom.Pt(0, 0),
+		Model:        rf.Default(),
+		SensingRange: 40,
+		CommRange:    45,
+		HopDelay:     0.002,
+		ReportBits:   256,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig(9).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	c := testConfig(9)
+	c.Nodes = nil
+	if err := c.Validate(); err == nil {
+		t.Error("no nodes should fail")
+	}
+	c = testConfig(9)
+	c.CommRange = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero CommRange should fail")
+	}
+	c = testConfig(9)
+	c.HopLoss = 1
+	if err := c.Validate(); err == nil {
+		t.Error("HopLoss=1 should fail")
+	}
+	c = testConfig(9)
+	c.HopDelay = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative delay should fail")
+	}
+}
+
+func TestGreedyRoutingReachesBS(t *testing.T) {
+	n, err := New(testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range n.cfg.Nodes {
+		path, ok := n.PathTo(i)
+		if !ok {
+			t.Fatalf("node %d unroutable", i)
+		}
+		if path[0] != i {
+			t.Fatalf("path should start at source, got %v", path)
+		}
+		// Distances to BS strictly decrease along the path.
+		prev := math.Inf(1)
+		for _, hop := range path {
+			d := n.cfg.Nodes[hop].Dist(n.cfg.BaseStation)
+			if d >= prev {
+				t.Fatalf("non-decreasing distance along path %v", path)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestRoutingDisconnected(t *testing.T) {
+	// One node far from the BS with nothing in comm range → truly
+	// disconnected; even the BFS rescue cannot save it.
+	cfg := Config{
+		Nodes:       []geom.Point{geom.Pt(5, 5), geom.Pt(90, 90)},
+		BaseStation: geom.Pt(0, 0),
+		Model:       rf.Default(),
+		CommRange:   10,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.PathTo(0); !ok {
+		t.Error("node 0 should route directly")
+	}
+	if _, ok := n.PathTo(1); ok {
+		t.Error("node 1 should be disconnected")
+	}
+}
+
+func TestGreedyVoidRescuedByBFS(t *testing.T) {
+	// A "C"-shaped topology: node 3's only neighbor (node 2) is farther
+	// from the BS, so greedy voids — the BFS rescue detours through the
+	// full chain 3→2→1→0→BS.
+	cfg := Config{
+		Nodes: []geom.Point{
+			geom.Pt(8, 10),  // 0: hears the BS
+			geom.Pt(18, 14), // 1
+			geom.Pt(30, 14), // 2: farther from BS than 3
+			geom.Pt(30, 0),  // 3: greedy void
+		},
+		BaseStation: geom.Pt(0, 0),
+		Model:       rf.Default(),
+		CommRange:   15,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.nextHop[3] != -2 {
+		t.Fatalf("node 3 should be a greedy void, nextHop=%d", n.nextHop[3])
+	}
+	path, ok := n.PathTo(3)
+	if !ok {
+		t.Fatal("BFS rescue should reach the BS")
+	}
+	want := []int{3, 2, 1, 0}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	// Rounds from the rescued node actually deliver.
+	g, stats := n.CollectRound(geom.Pt(30, 5), 3, randx.New(1))
+	if stats.Voids != 0 {
+		t.Errorf("no voids expected after rescue, got %d", stats.Voids)
+	}
+	if !g.Reported[3] {
+		t.Error("node 3's report should arrive via the detour")
+	}
+}
+
+func TestCollectRoundDeliversReports(t *testing.T) {
+	n, err := New(testConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, stats := n.CollectRound(geom.Pt(50, 50), 5, randx.New(1))
+	if stats.Heard == 0 {
+		t.Fatal("no node heard the target")
+	}
+	if stats.Delivered != stats.Heard {
+		t.Errorf("lossless network delivered %d/%d", stats.Delivered, stats.Heard)
+	}
+	if g.NumReported() != stats.Delivered {
+		t.Errorf("group reports %d != delivered %d", g.NumReported(), stats.Delivered)
+	}
+	if g.K() != 5 {
+		t.Errorf("group K = %d", g.K())
+	}
+	if stats.EnergySpent <= 0 {
+		t.Error("round should consume energy")
+	}
+	if stats.MaxLatency <= 0 {
+		t.Error("multihop delivery should take time")
+	}
+	if n.Engine().Now() < stats.MaxLatency {
+		t.Error("virtual clock should advance past the slowest delivery")
+	}
+}
+
+func TestCollectRoundRespectsSensingRange(t *testing.T) {
+	n, _ := New(testConfig(16))
+	// Target at a corner: far nodes must not report.
+	g, stats := n.CollectRound(geom.Pt(1, 1), 3, randx.New(2))
+	if stats.Heard >= 16 {
+		t.Errorf("all nodes heard a corner target with R=40")
+	}
+	for i, rep := range g.Reported {
+		if rep && n.cfg.Nodes[i].Dist(geom.Pt(1, 1)) > 40 {
+			t.Errorf("node %d reported from beyond sensing range", i)
+		}
+	}
+}
+
+func TestHopLossDropsReports(t *testing.T) {
+	cfg := testConfig(16)
+	cfg.HopLoss = 0.5
+	n, _ := New(cfg)
+	totalHeard, totalDelivered := 0, 0
+	rng := randx.New(3)
+	for round := 0; round < 50; round++ {
+		_, stats := n.CollectRound(geom.Pt(50, 50), 3, rng.SplitN("r", round))
+		totalHeard += stats.Heard
+		totalDelivered += stats.Delivered
+	}
+	if totalDelivered >= totalHeard {
+		t.Errorf("with 50%% hop loss, delivered %d of %d heard", totalDelivered, totalHeard)
+	}
+	if totalDelivered == 0 {
+		t.Error("some reports should still get through")
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	n, _ := New(testConfig(9))
+	if n.AliveCount() != 9 {
+		t.Fatalf("AliveCount = %d", n.AliveCount())
+	}
+	n.Kill(4) // centre node
+	if n.AliveCount() != 8 {
+		t.Errorf("AliveCount after kill = %d", n.AliveCount())
+	}
+	g, stats := n.CollectRound(geom.Pt(50, 50), 3, randx.New(4))
+	if g.Reported[4] {
+		t.Error("dead node reported")
+	}
+	if stats.Dead == 0 {
+		t.Error("round should count the dead sensing node")
+	}
+	n.Revive(4)
+	if n.AliveCount() != 9 {
+		t.Errorf("AliveCount after revive = %d", n.AliveCount())
+	}
+}
+
+func TestBatteryExhaustion(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.InitialEnergy = 1e-6 // tiny battery: dies within a few rounds
+	n, _ := New(cfg)
+	rng := randx.New(5)
+	for round := 0; round < 200 && n.AliveCount() > 0; round++ {
+		n.CollectRound(geom.Pt(50, 50), 3, rng.SplitN("r", round))
+	}
+	if n.AliveCount() == 9 {
+		t.Error("tiny batteries should have exhausted some nodes")
+	}
+	// A dead node must not revive.
+	for i, alive := range n.Alive {
+		if !alive {
+			n.Revive(i)
+			if n.Alive[i] {
+				t.Error("Revive should not resurrect an exhausted battery")
+			}
+			break
+		}
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	// Direct transmission costs grow with distance squared.
+	near := txEnergy(256, 10)
+	far := txEnergy(256, 40)
+	if far <= near {
+		t.Error("TX energy should grow with distance")
+	}
+	if rxEnergy(256) <= 0 {
+		t.Error("RX energy should be positive")
+	}
+	// Farther TX costs at least the amp-term ratio.
+	if (far-near)/near < 1 {
+		t.Errorf("energy ratio too small: near=%v far=%v", near, far)
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	n, _ := New(testConfig(16))
+	h0, ok := n.HopCount(0) // nearest the BS corner
+	if !ok || h0 != 1 {
+		t.Errorf("corner node hops = %d,%v, want 1,true", h0, ok)
+	}
+	h15, ok := n.HopCount(15) // farthest corner
+	if !ok || h15 < 2 {
+		t.Errorf("far node hops = %d,%v, want ≥2", h15, ok)
+	}
+	if m := n.MeanHopCount(); m < 1 || math.IsNaN(m) {
+		t.Errorf("MeanHopCount = %v", m)
+	}
+}
+
+func TestCollectRoundFocusedSleepsDistantNodes(t *testing.T) {
+	n, _ := New(testConfig(16))
+	target := geom.Pt(50, 50)
+	// Focus on the target with a tight radius: distant in-range nodes
+	// must sleep.
+	gFocused, stFocused := n.CollectRoundFocused(target, target, 20, 3, randx.New(11))
+	if stFocused.Asleep == 0 {
+		t.Fatal("expected some nodes asleep with radius 20")
+	}
+	for i, rep := range gFocused.Reported {
+		if rep && n.cfg.Nodes[i].Dist(target) > 20 {
+			t.Errorf("node %d reported from outside the wake zone", i)
+		}
+	}
+	// A huge radius degenerates to the always-on round.
+	_, stAll := n.CollectRoundFocused(target, target, 1000, 3, randx.New(11))
+	if stAll.Asleep != 0 {
+		t.Errorf("radius 1000 should wake everyone, %d asleep", stAll.Asleep)
+	}
+}
+
+func TestFocusedRoundSavesEnergy(t *testing.T) {
+	run := func(radius float64) float64 {
+		n, _ := New(testConfig(25))
+		rng := randx.New(12)
+		for round := 0; round < 30; round++ {
+			n.CollectRoundFocused(geom.Pt(50, 50), geom.Pt(50, 50), radius, 5, rng.SplitN("r", round))
+		}
+		return total(n.Energy)
+	}
+	if focused, all := run(25), run(1000); focused >= all {
+		t.Errorf("focused energy %.3e should be below always-on %.3e", focused, all)
+	}
+}
+
+func TestSamplingEnergyAccounted(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.HopLoss = 0
+	n, _ := New(cfg)
+	_, st := n.CollectRound(geom.Pt(50, 50), 5, randx.New(13))
+	// Each sensing node spends at least k·sampleEnergy.
+	if st.EnergySpent < float64(st.Delivered)*5*sampleEnergy {
+		t.Errorf("energy %.3e below sensing floor", st.EnergySpent)
+	}
+}
+
+func TestCollectRoundReproducible(t *testing.T) {
+	run := func() []bool {
+		n, _ := New(testConfig(16))
+		g, _ := n.CollectRound(geom.Pt(42, 58), 5, randx.New(6))
+		return g.Reported
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("CollectRound not reproducible")
+		}
+	}
+}
