@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet check bench tools clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the full local gate: what CI runs.
+check: vet build race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

@@ -19,6 +19,7 @@ import (
 	"fttt/internal/field"
 	"fttt/internal/geom"
 	"fttt/internal/match"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -246,6 +247,28 @@ func BenchmarkLocalize(b *testing.B) {
 	tr, err := core.New(core.Config{
 		Field: fieldRect, Nodes: dep.Positions(), Model: rf.Default(),
 		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Localize(geom.Pt(40, 60), rng.SplitN("loc", i))
+	}
+}
+
+// BenchmarkLocalizeInstrumented is BenchmarkLocalize with a live
+// telemetry registry attached; comparing the two quantifies the
+// bookkeeping overhead (the nil-registry fast path in BenchmarkLocalize
+// must stay within a few percent of the seed numbers).
+func BenchmarkLocalizeInstrumented(b *testing.B) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	tr, err := core.New(core.Config{
+		Field: fieldRect, Nodes: dep.Positions(), Model: rf.Default(),
+		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 2,
+		Obs: obs.NewRegistry(),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -20,6 +20,7 @@ import (
 
 	"fttt/internal/experiments"
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/svg"
 )
 
@@ -30,8 +31,9 @@ func main() {
 		dur    = flag.Float64("duration", 0, "override tracking duration (s)")
 		seed   = flag.Uint64("seed", 1, "root random seed")
 		only   = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility)")
-		csvDir = flag.String("csv", "", "directory to write CSV series into")
-		svgDir = flag.String("svg", "", "directory to render Fig. 10/13 track SVGs into")
+		csvDir    = flag.String("csv", "", "directory to write CSV series into")
+		svgDir    = flag.String("svg", "", "directory to render Fig. 10/13 track SVGs into")
+		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 
@@ -46,6 +48,16 @@ func main() {
 		p.Duration = *dur
 	}
 	p.Seed = *seed
+	reg := obs.NewRegistry()
+	p.Obs = reg
+	if *telemetry != "" {
+		srv, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -68,74 +80,43 @@ func main() {
 
 	printTable1(p)
 	r := &runner{p: p, csvDir: *csvDir, svgDir: *svgDir}
-	if sel("fig10") {
-		r.fig10()
+	experimentsList := []struct {
+		name string
+		fn   func()
+	}{
+		{"fig10", r.fig10},
+		{"fig11a", r.fig11a},
+		{"fig11bc", r.fig11bc},
+		{"fig12a", r.fig12a},
+		{"fig12b", r.fig12b},
+		{"fig12cd", r.fig12cd},
+		{"fig13", r.fig13},
+		{"sampling", r.samplingTimes},
+		{"scaling", r.errorScaling},
+		{"matchcost", r.matchCost},
+		{"ablation", r.ablation},
+		{"gridres", r.gridRes},
+		{"methods", r.methods},
+		{"smoothing", r.smoothing},
+		{"lifetime", r.lifetime},
+		{"syncacc", r.syncAccuracy},
+		{"estimator", r.estimator},
+		{"doi", r.doi},
+		{"dutycycle", r.dutyCycle},
+		{"faces", r.faces},
+		{"coverage", r.coverage},
+		{"mac", r.mac},
+		{"mobility", r.mobility},
 	}
-	if sel("fig11a") {
-		r.fig11a()
-	}
-	if sel("fig11bc") {
-		r.fig11bc()
-	}
-	if sel("fig12a") {
-		r.fig12a()
-	}
-	if sel("fig12b") {
-		r.fig12b()
-	}
-	if sel("fig12cd") {
-		r.fig12cd()
-	}
-	if sel("fig13") {
-		r.fig13()
-	}
-	if sel("sampling") {
-		r.samplingTimes()
-	}
-	if sel("scaling") {
-		r.errorScaling()
-	}
-	if sel("matchcost") {
-		r.matchCost()
-	}
-	if sel("ablation") {
-		r.ablation()
-	}
-	if sel("gridres") {
-		r.gridRes()
-	}
-	if sel("methods") {
-		r.methods()
-	}
-	if sel("smoothing") {
-		r.smoothing()
-	}
-	if sel("lifetime") {
-		r.lifetime()
-	}
-	if sel("syncacc") {
-		r.syncAccuracy()
-	}
-	if sel("estimator") {
-		r.estimator()
-	}
-	if sel("doi") {
-		r.doi()
-	}
-	if sel("dutycycle") {
-		r.dutyCycle()
-	}
-	if sel("faces") {
-		r.faces()
-	}
-	if sel("coverage") {
-		r.coverage()
-	}
-	if sel("mac") {
-		r.mac()
-	}
-	if sel("mobility") {
-		r.mobility()
+	for _, e := range experimentsList {
+		if !sel(e.name) {
+			continue
+		}
+		// One figure per registry epoch: reset keeps the handles valid
+		// but isolates each dump to its own experiment.
+		reg.Reset()
+		e.fn()
+		r.dumpMetrics(e.name)
 	}
 }
 
@@ -705,6 +686,19 @@ func (r *runner) writeSeriesCSV(name string, s experiments.TrackedSeries) {
 			s.Times[i], s.True[i].X, s.True[i].Y, s.Estimates[i].X, s.Estimates[i].Y, s.Errors[i])
 	}
 	r.writeFile(name, b.String())
+}
+
+// dumpMetrics writes the telemetry accumulated by the experiment that
+// just ran as Prometheus text next to its CSVs.
+func (r *runner) dumpMetrics(name string) {
+	if r.csvDir == "" || r.p.Obs == nil {
+		return
+	}
+	var b strings.Builder
+	if _, err := r.p.Obs.Snapshot().WriteTo(&b); err != nil {
+		fatal(err)
+	}
+	r.writeFile(name+"_metrics.prom", b.String())
 }
 
 func (r *runner) writeFile(name, content string) {

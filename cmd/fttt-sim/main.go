@@ -2,26 +2,61 @@
 // error statistics: deploy sensors, generate a random-waypoint trace,
 // track it with the selected strategy, print per-run summaries.
 //
+// With -net the reports travel through the simulated WSN substrate
+// (multihop forwarding, loss, energy, latency) instead of the ideal
+// sampler; with -telemetry-addr the run exposes live Prometheus metrics,
+// expvar and pprof while it executes.
+//
 // Usage:
 //
 //	fttt-sim -n 20 -k 5 -eps 1 -duration 60 -strategy fttt-ext -seed 7
+//	fttt-sim -net -duration 600 -telemetry-addr :9090   # curl :9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fttt/internal/baseline"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/geom"
 	"fttt/internal/mobility"
+	"fttt/internal/obs"
+	"fttt/internal/pipeline"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
 	"fttt/internal/stats"
+	"fttt/internal/wsnnet"
 )
+
+// simConfig collects the per-run knobs (one trial = one simConfig run).
+type simConfig struct {
+	n                          int
+	layout                     string
+	k                          int
+	eps, sigma, beta           float64
+	rng, size, cell            float64
+	duration, locPeriod        float64
+	vmin, vmax, loss           float64
+	strategy                   string
+	seed                       uint64
+	verbose, report            bool
+	net                        bool
+	commRange, hopLoss, hopDel float64
+	obs                        *obs.Registry
+}
+
+// simResult is what one trial contributes to the end-of-run summary.
+type simResult struct {
+	errs      []float64
+	rounds    int
+	heard     int
+	delivered int
+}
 
 func main() {
 	var (
@@ -38,27 +73,59 @@ func main() {
 		locPeriod = flag.Float64("period", 0.5, "localization period (s)")
 		vmin      = flag.Float64("vmin", 1, "minimum target speed (m/s)")
 		vmax      = flag.Float64("vmax", 5, "maximum target speed (m/s)")
-		loss      = flag.Float64("loss", 0, "report loss probability")
+		loss      = flag.Float64("loss", 0, "report loss probability (sampler mode)")
 		strategy  = flag.String("strategy", "fttt", "strategy: fttt | fttt-ext | pm | mle")
 		seed      = flag.Uint64("seed", 1, "root random seed")
 		trials    = flag.Int("trials", 1, "independent repetitions (fresh deployment + trace per trial)")
 		verbose   = flag.Bool("v", false, "print per-point errors")
+		netMode   = flag.Bool("net", false, "collect reports over the simulated WSN substrate (fttt strategies only)")
+		commRange = flag.Float64("comm", 50, "mote radio range (m, -net mode)")
+		hopLoss   = flag.Float64("hoploss", 0.05, "per-hop loss probability (-net mode)")
+		hopDelay  = flag.Float64("hopdelay", 0.002, "per-hop delay (s, -net mode)")
+		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
 	if *trials < 1 {
 		*trials = 1
 	}
+	reg := obs.NewRegistry()
+	if *telemetry != "" {
+		srv, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-sim: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
+	}
+
+	cfg := simConfig{
+		n: *n, layout: *layout, k: *k,
+		eps: *eps, sigma: *sigma, beta: *beta,
+		rng: *rng, size: *size, cell: *cell,
+		duration: *duration, locPeriod: *locPeriod,
+		vmin: *vmin, vmax: *vmax, loss: *loss,
+		strategy: *strategy,
+		verbose:  *verbose && *trials == 1,
+		report:   *trials == 1,
+		net:      *netMode, commRange: *commRange, hopLoss: *hopLoss, hopDel: *hopDelay,
+		obs: reg,
+	}
+
 	var all []float64
+	var rounds, heard, delivered int
 	for trial := 0; trial < *trials; trial++ {
-		errs, err := run(*n, *layout, *k, *eps, *sigma, *beta, *rng, *size, *cell,
-			*duration, *locPeriod, *vmin, *vmax, *loss, *strategy,
-			*seed+uint64(trial), *verbose && *trials == 1, *trials == 1)
+		cfg.seed = *seed + uint64(trial)
+		res, err := run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fttt-sim:", err)
 			os.Exit(1)
 		}
-		all = append(all, errs...)
+		all = append(all, res.errs...)
+		rounds += res.rounds
+		heard += res.heard
+		delivered += res.delivered
 	}
 	if *trials > 1 {
 		s := stats.Summarize(all)
@@ -69,97 +136,222 @@ func main() {
 		fmt.Printf("error: mean=%.2fm (95%% CI %.2f–%.2f) stddev=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
 			s.Mean, lo, hi, s.StdDev, s.Median, s.P90, s.Max)
 	}
+	printSummary(reg, *netMode, rounds, heard, delivered, all)
 }
 
-func run(n int, layout string, k int, eps, sigma, beta, rng, size, cell,
-	duration, locPeriod, vmin, vmax, loss float64, strategy string, seed uint64,
-	verbose, report bool) ([]float64, error) {
+// printSummary renders the end-of-run metrics table so every invocation
+// is self-describing: how many rounds ran, how many reports were lost,
+// how accurate the track was and how slow the tail localization was.
+func printSummary(reg *obs.Registry, netMode bool, rounds, heard, delivered int, errs []float64) {
+	lossPct := 0.0
+	if heard > 0 {
+		lossPct = 100 * (1 - float64(delivered)/float64(heard))
+	}
+	fmt.Println("== run summary ==")
+	fmt.Printf("  %-22s %d\n", "rounds", rounds)
+	fmt.Printf("  %-22s %d\n", "reports heard", heard)
+	fmt.Printf("  %-22s %d (%.1f%% lost)\n", "reports delivered", delivered, lossPct)
+	fmt.Printf("  %-22s %.2f m\n", "mean error", stats.Mean(errs))
+	// Sampler mode times the whole estimate call; net mode attaches the
+	// registry to the tracker, whose localize histogram covers the same.
+	locHist := reg.Histogram("fttt_sim_localize_seconds", nil)
+	if locHist.Count() == 0 {
+		locHist = reg.Histogram("fttt_core_localize_seconds", nil)
+	}
+	fmt.Printf("  %-22s %.3f ms\n", "p95 localize (wall)", locHist.Quantile(0.95)*1e3)
+	if netMode {
+		netP95 := reg.Histogram("fttt_net_delivery_latency_seconds", nil).Quantile(0.95)
+		fmt.Printf("  %-22s %.1f ms\n", "p95 delivery (virtual)", netP95*1e3)
+		fmt.Printf("  %-22s %.2f mJ\n", "energy spent",
+			reg.Counter("fttt_net_energy_joules_total").Value()*1e3)
+	}
+}
 
-	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(size, size))
-	root := randx.New(seed)
+func run(c simConfig) (simResult, error) {
+	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(c.size, c.size))
+	root := randx.New(c.seed)
 	model := rf.Default()
-	model.SigmaX = sigma
-	model.Beta = beta
+	model.SigmaX = c.sigma
+	model.Beta = c.beta
 	if err := model.Validate(); err != nil {
-		return nil, err
+		return simResult{}, err
 	}
 
 	var dep deploy.Deployment
-	switch layout {
+	switch c.layout {
 	case "random":
-		dep = deploy.Random(field, n, root.Split("deploy"))
+		dep = deploy.Random(field, c.n, root.Split("deploy"))
 	case "grid":
-		dep = deploy.Grid(field, n)
+		dep = deploy.Grid(field, c.n)
 	case "cross":
-		dep = deploy.Cross(field, n, size*0.3)
+		dep = deploy.Cross(field, c.n, c.size*0.3)
 	default:
-		return nil, fmt.Errorf("unknown deployment %q", layout)
+		return simResult{}, fmt.Errorf("unknown deployment %q", c.layout)
 	}
 
-	mob := mobility.RandomWaypoint(field, vmin, vmax, duration, root.Split("mobility"))
-	tps := mobility.Sample(mob, duration, 1/locPeriod)
+	mob := mobility.RandomWaypoint(field, c.vmin, c.vmax, c.duration, root.Split("mobility"))
+	if c.net {
+		return runNet(c, field, dep, model, mob, root)
+	}
+	return runSampler(c, field, dep, model, mob, root)
+}
+
+// runNet drives the fttt strategies through the full online pipeline:
+// wsnnet substrate → tracker → updates, all sharing the run registry.
+func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
+	mob mobility.Model, root *randx.Stream) (simResult, error) {
+
+	variant := core.Basic
+	switch c.strategy {
+	case "fttt":
+	case "fttt-ext":
+		variant = core.Extended
+	default:
+		return simResult{}, fmt.Errorf("-net supports the fttt strategies, not %q", c.strategy)
+	}
+	net, err := wsnnet.New(wsnnet.Config{
+		Nodes:        dep.Positions(),
+		BaseStation:  geom.Pt(field.Center().X, field.Min.Y-5),
+		Model:        model,
+		SensingRange: c.rng,
+		CommRange:    c.commRange,
+		HopLoss:      c.hopLoss,
+		HopDelay:     c.hopDel,
+		ReportBits:   256,
+		Epsilon:      c.eps,
+		Obs:          c.obs,
+	})
+	if err != nil {
+		return simResult{}, err
+	}
+	tr, err := core.New(core.Config{
+		Field: field, Nodes: dep.Positions(), Model: model,
+		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
+		Variant: variant, Obs: c.obs,
+	})
+	if err != nil {
+		return simResult{}, err
+	}
+	svc, err := pipeline.New(pipeline.Config{
+		Net: net, Tracker: tr, Period: c.locPeriod, K: c.k, Obs: c.obs,
+	})
+	if err != nil {
+		return simResult{}, err
+	}
+	if c.report {
+		fmt.Printf("division: %d faces, %d links; network: %d motes, mean hops %.2f\n",
+			tr.Division().NumFaces(), tr.Division().NeighborLinkCount(), c.n, net.MeanHopCount())
+	}
+	updates := svc.Run(mob, c.duration, root.Split("pipeline"))
+	res := simResult{rounds: len(updates)}
+	for _, u := range updates {
+		res.errs = append(res.errs, u.Error)
+		res.heard += u.Stats.Heard
+		res.delivered += u.Stats.Delivered
+		if c.verbose {
+			fmt.Printf("t=%6.2f  true=%v  est=%v  err=%.2f  delivered=%d/%d\n",
+				u.T, u.True, u.Final, u.Error, u.Stats.Delivered, u.Stats.Heard)
+		}
+	}
+	if c.report {
+		s := stats.Summarize(res.errs)
+		fmt.Printf("strategy=%s(net) n=%d k=%d eps=%.1f seed=%d localizations=%d\n",
+			c.strategy, c.n, c.k, c.eps, c.seed, s.N)
+		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
+			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
+	}
+	return res, nil
+}
+
+// runSampler is the classic ideal-collection path: pre-draw all grouping
+// samplings, then run the chosen strategy over them.
+func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
+	mob mobility.Model, root *randx.Stream) (simResult, error) {
+
+	tps := mobility.Sample(mob, c.duration, 1/c.locPeriod)
 	sampler := &sampling.Sampler{
 		Model: model, Nodes: dep.Positions(),
-		Range: rng, ReportLoss: loss, Epsilon: eps,
+		Range: c.rng, ReportLoss: c.loss, Epsilon: c.eps,
 	}
 
 	groups := make([]*sampling.Group, len(tps))
 	g := root.Split("groups")
 	for i, tp := range tps {
-		groups[i] = sampler.Sample(tp.Pos, k, g.SplitN("loc", i))
+		groups[i] = sampler.Sample(tp.Pos, c.k, g.SplitN("loc", i))
 	}
 
 	var estimate func(i int) geom.Point
-	switch strategy {
+	switch c.strategy {
 	case "fttt", "fttt-ext":
 		cfg := core.Config{
 			Field: field, Nodes: dep.Positions(), Model: model,
-			Epsilon: eps, SamplingTimes: k, Range: rng, CellSize: cell,
+			Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
+			Obs: c.obs,
 		}
-		if strategy == "fttt-ext" {
+		if c.strategy == "fttt-ext" {
 			cfg.Variant = core.Extended
 		}
 		tr, err := core.New(cfg)
 		if err != nil {
-			return nil, err
+			return simResult{}, err
 		}
-		if report {
+		if c.report {
 			fmt.Printf("division: %d faces, %d links, C=%.4f\n",
 				tr.Division().NumFaces(), tr.Division().NeighborLinkCount(), cfg.UncertaintyC())
 		}
 		estimate = func(i int) geom.Point { return tr.LocalizeGroup(groups[i]).Pos }
 	case "pm":
-		pm, err := baseline.NewPM(field, dep.Positions(), cell,
-			baseline.PMConfig{MaxVelocity: vmax, Period: locPeriod})
+		pm, err := baseline.NewPM(field, dep.Positions(), c.cell,
+			baseline.PMConfig{MaxVelocity: c.vmax, Period: c.locPeriod})
 		if err != nil {
-			return nil, err
+			return simResult{}, err
 		}
 		estimate = func(i int) geom.Point { return pm.LocalizeGroup(groups[i]) }
 	case "mle":
-		d, err := baseline.NewDirectMLE(field, dep.Positions(), cell)
+		d, err := baseline.NewDirectMLE(field, dep.Positions(), c.cell)
 		if err != nil {
-			return nil, err
+			return simResult{}, err
 		}
 		estimate = func(i int) geom.Point { return d.LocalizeGroup(groups[i]) }
 	default:
-		return nil, fmt.Errorf("unknown strategy %q", strategy)
+		return simResult{}, fmt.Errorf("unknown strategy %q", c.strategy)
 	}
 
-	errs := make([]float64, len(tps))
+	res := simResult{rounds: len(tps)}
+	res.errs = make([]float64, len(tps))
+	lat := c.obs.Histogram("fttt_sim_localize_seconds", obs.ExpBuckets(1e-5, 2, 16))
 	for i := range tps {
+		start := time.Now()
 		est := estimate(i)
-		errs[i] = est.Dist(tps[i].Pos)
-		if verbose {
-			fmt.Printf("t=%6.2f  true=%v  est=%v  err=%.2f\n", tps[i].T, tps[i].Pos, est, errs[i])
+		lat.Observe(time.Since(start).Seconds())
+		res.errs[i] = est.Dist(tps[i].Pos)
+		res.heard += inRange(dep.Positions(), tps[i].Pos, c.rng)
+		res.delivered += groups[i].NumReported()
+		if c.verbose {
+			fmt.Printf("t=%6.2f  true=%v  est=%v  err=%.2f\n", tps[i].T, tps[i].Pos, est, res.errs[i])
 		}
 	}
 
-	if report {
-		s := stats.Summarize(errs)
+	if c.report {
+		s := stats.Summarize(res.errs)
 		fmt.Printf("strategy=%s n=%d k=%d eps=%.1f seed=%d localizations=%d\n",
-			strategy, n, k, eps, seed, s.N)
+			c.strategy, c.n, c.k, c.eps, c.seed, s.N)
 		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
 			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
 	}
-	return errs, nil
+	return res, nil
+}
+
+// inRange counts nodes within sensing range of p (0 range = all).
+func inRange(nodes []geom.Point, p geom.Point, r float64) int {
+	if r <= 0 {
+		return len(nodes)
+	}
+	c := 0
+	for _, q := range nodes {
+		if q.Dist(p) <= r {
+			c++
+		}
+	}
+	return c
 }

@@ -19,6 +19,7 @@ import (
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/stats"
@@ -35,18 +36,29 @@ func main() {
 		cell     = flag.Float64("cell", 1, "grid division cell size (m)")
 		variant  = flag.String("variant", "basic", "sampling vectors: basic | ext")
 		seed     = flag.Uint64("seed", 1, "root random seed")
-		inPath   = flag.String("in", "", "input trace CSV (default: 't x y' lines on stdin)")
-		velocity = flag.Bool("velocity", false, "append velocity estimates to stderr summary")
+		inPath    = flag.String("in", "", "input trace CSV (default: 't x y' lines on stdin)")
+		velocity  = flag.Bool("velocity", false, "append velocity estimates to stderr summary")
+		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
-	if err := run(*n, *layout, *k, *eps, *size, *cell, *variant, *seed, *inPath, *velocity); err != nil {
+	reg := obs.NewRegistry()
+	if *telemetry != "" {
+		srv, err := obs.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-track: telemetry:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	if err := run(*n, *layout, *k, *eps, *size, *cell, *variant, *seed, *inPath, *velocity, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-track:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, layout string, k int, eps, size, cell float64, variant string, seed uint64, inPath string, velocity bool) error {
+func run(n int, layout string, k int, eps, size, cell float64, variant string, seed uint64, inPath string, velocity bool, reg *obs.Registry) error {
 	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(size, size))
 	root := randx.New(seed)
 
@@ -65,6 +77,7 @@ func run(n int, layout string, k int, eps, size, cell float64, variant string, s
 	cfg := core.Config{
 		Field: field, Nodes: dep.Positions(), Model: rf.Default(),
 		Epsilon: eps, SamplingTimes: k, Range: 40, CellSize: cell,
+		Obs: reg,
 	}
 	switch variant {
 	case "basic":
@@ -98,8 +111,9 @@ func run(n int, layout string, k int, eps, size, cell float64, variant string, s
 	}
 
 	s := stats.Summarize(out.Errors())
-	fmt.Fprintf(os.Stderr, "tracked %d points: mean=%.2fm stddev=%.2fm max=%.2fm\n",
-		s.N, s.Mean, s.StdDev, s.Max)
+	fmt.Fprintf(os.Stderr, "tracked %d points: mean=%.2fm stddev=%.2fm max=%.2fm p95-localize=%.3fms\n",
+		s.N, s.Mean, s.StdDev, s.Max,
+		reg.Histogram("fttt_core_localize_seconds", nil).Quantile(0.95)*1e3)
 	if velocity && len(out) >= 5 {
 		vs := out.EstimateVelocities(2)
 		speeds := make([]float64, len(vs))

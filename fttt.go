@@ -34,10 +34,13 @@
 package fttt
 
 import (
+	"fmt"
+
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/geom"
 	"fttt/internal/mobility"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -97,6 +100,30 @@ type (
 	// Group is one grouping sampling (the k×n RSS matrix of Def. 3).
 	Group = sampling.Group
 )
+
+// Telemetry types (DESIGN.md §"Telemetry"). Attach a Registry via
+// Config.Obs and/or a Tracer via Config.Tracer to observe the tracker;
+// nil (the default) disables all bookkeeping at near-zero cost.
+type (
+	// Registry is a named collection of counters, gauges and histograms;
+	// its Snapshot().WriteTo renders the Prometheus text format.
+	Registry = obs.Registry
+	// Tracer receives span/event callbacks from instrumented components.
+	Tracer = obs.Tracer
+	// TelemetryServer exposes a Registry over HTTP (/metrics, expvar,
+	// pprof).
+	TelemetryServer = obs.Server
+)
+
+// NewRegistry returns an empty telemetry registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// ServeTelemetry starts an HTTP server on addr exposing reg at /metrics
+// plus expvar and pprof debug endpoints — what the CLI tools put behind
+// their -telemetry-addr flag.
+func ServeTelemetry(addr string, reg *Registry) (*TelemetryServer, error) {
+	return obs.Serve(addr, reg)
+}
 
 // NewMulti preprocesses the shared division and returns a multi-target
 // tracker; targets are created lazily per ID.
@@ -173,8 +200,13 @@ func New(cfg Config) (*Tracker, error) { return core.New(cfg) }
 
 // Track runs a whole trace through a fresh tracker and returns the
 // per-point estimates and errors. It is the one-call entry point used by
-// the quickstart example.
+// the quickstart example. times may be nil (the point index is used as
+// the timestamp); a non-nil times must pair one timestamp with every
+// trace point.
 func Track(cfg Config, trace []Point, times []float64, seed uint64) ([]TrackedPoint, error) {
+	if times != nil && len(times) != len(trace) {
+		return nil, fmt.Errorf("fttt: trace has %d points but times has %d entries", len(trace), len(times))
+	}
 	tr, err := core.New(cfg)
 	if err != nil {
 		return nil, err

@@ -44,6 +44,23 @@ func TestTrackOneCall(t *testing.T) {
 	}
 }
 
+func TestTrackLengthMismatch(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	cfg := fttt.DefaultConfig(fttt.DeployGrid(field, 9))
+	cfg.CellSize = 4
+	trace := []fttt.Point{fttt.Pt(10, 10), fttt.Pt(20, 20), fttt.Pt(30, 30)}
+	if _, err := fttt.Track(cfg, trace, []float64{0, 0.5}, 1); err == nil {
+		t.Fatal("Track accepted a times slice shorter than the trace")
+	}
+	if _, err := fttt.Track(cfg, trace, []float64{0, 0.5, 1, 1.5}, 1); err == nil {
+		t.Fatal("Track accepted a times slice longer than the trace")
+	}
+	// nil times stays legal: indices are used as timestamps.
+	if _, err := fttt.Track(cfg, trace, nil, 1); err != nil {
+		t.Fatalf("Track with nil times: %v", err)
+	}
+}
+
 func TestMeanErrorEmpty(t *testing.T) {
 	if got := fttt.MeanError(nil); got != 0 {
 		t.Errorf("MeanError(nil) = %v", got)

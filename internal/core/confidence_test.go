@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConfidenceEdgeCases pins the degenerate inputs Confidence must
+// survive: empty vectors, all-star vectors, exact matches and
+// non-positive similarities.
+func TestConfidenceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		est  Estimate
+		want float64
+	}{
+		{
+			// No sampling vector at all (zero-value Estimate): the zero
+			// similarity reads as "matched nothing", so confidence is 0
+			// even though the participation term degenerates to 1.
+			name: "zero value",
+			est:  Estimate{},
+			want: 0,
+		},
+		{
+			// Every pair silent: zero participating pairs must yield zero
+			// confidence, not a division by zero.
+			name: "all-star vector",
+			est:  Estimate{Similarity: math.Inf(1), Stars: 10, pairsTotal: 10},
+			want: 0,
+		},
+		{
+			// Stars recorded but no known vector dimension — the
+			// participating count clamps at zero.
+			name: "stars without pairsTotal",
+			est:  Estimate{Similarity: math.Inf(1), Stars: 3},
+			want: 0,
+		},
+		{
+			name: "exact match full participation",
+			est:  Estimate{Similarity: math.Inf(1), pairsTotal: 6},
+			want: 1,
+		},
+		{
+			name: "zero similarity",
+			est:  Estimate{Similarity: 0, pairsTotal: 6},
+			want: 0,
+		},
+		{
+			name: "negative similarity",
+			est:  Estimate{Similarity: -2, pairsTotal: 6},
+			want: 0,
+		},
+		{
+			// Similarity 1 (distance 1) with half the pairs starred:
+			// 1/(1+1) × 3/6 = 0.25.
+			name: "half participation",
+			est:  Estimate{Similarity: 1, Stars: 3, pairsTotal: 6},
+			want: 0.25,
+		},
+	}
+	for _, tc := range cases {
+		got := tc.est.Confidence()
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Errorf("%s: confidence %v outside [0,1]", tc.name, got)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: confidence = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

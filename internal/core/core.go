@@ -14,10 +14,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"fttt/internal/field"
 	"fttt/internal/geom"
 	"fttt/internal/match"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -91,6 +93,13 @@ type Config struct {
 	// the estimator ablation of DESIGN.md §5. It implies an exhaustive
 	// scan per localization.
 	TopM int
+	// Obs, when non-nil, receives the tracker's metrics (localizations,
+	// faces visited, fallbacks, flip/star/missing-report counts, localize
+	// latency — DESIGN.md §"Telemetry"). Nil disables all bookkeeping.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a span per localization and an event
+	// per matcher fallback. Nil disables tracing (the fast path).
+	Tracer obs.Tracer
 }
 
 // UncertaintyC returns the uncertainty constant the configuration
@@ -126,6 +135,33 @@ type Tracker struct {
 	matcher match.Matcher
 	sampler *sampling.Sampler
 	prev    *field.Face
+	metrics *trackerMetrics
+	tracer  obs.Tracer
+}
+
+// trackerMetrics caches the core metric handles. They are resolved once
+// at construction so the localization hot path only touches atomics; a
+// nil *trackerMetrics (no registry attached) skips everything.
+type trackerMetrics struct {
+	localizations *obs.Counter
+	visited       *obs.Histogram
+	fallbacks     *obs.Counter
+	flipped       *obs.Counter
+	stars         *obs.Counter
+	missing       *obs.Counter
+	latency       *obs.Histogram
+}
+
+func newTrackerMetrics(r *obs.Registry) *trackerMetrics {
+	return &trackerMetrics{
+		localizations: r.Counter("fttt_core_localizations_total"),
+		visited:       r.Histogram("fttt_core_matcher_faces_visited", obs.ExpBuckets(1, 2, 14)),
+		fallbacks:     r.Counter("fttt_core_matcher_fallbacks_total"),
+		flipped:       r.Counter("fttt_core_flipped_pairs_total"),
+		stars:         r.Counter("fttt_core_star_pairs_total"),
+		missing:       r.Counter("fttt_core_missing_reports_total"),
+		latency:       r.Histogram("fttt_core_localize_seconds", obs.ExpBuckets(1e-5, 2, 16)),
+	}
 }
 
 // New preprocesses the field division and returns a Tracker.
@@ -172,7 +208,7 @@ func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 			FallbackBelow: cfg.FallbackBelow,
 		}
 	}
-	return &Tracker{
+	t := &Tracker{
 		cfg:     cfg,
 		div:     div,
 		matcher: m,
@@ -183,7 +219,12 @@ func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 			ReportLoss: cfg.ReportLoss,
 			Epsilon:    cfg.Epsilon,
 		},
-	}, nil
+		tracer: cfg.Tracer,
+	}
+	if cfg.Obs != nil {
+		t.metrics = newTrackerMetrics(cfg.Obs)
+	}
+	return t, nil
 }
 
 // Division exposes the preprocessed field division (read-only).
@@ -209,8 +250,14 @@ type Estimate struct {
 	// Stars counts the Star components in the sampling vector (pairs of
 	// silent nodes).
 	Stars int
+	// Flipped counts the sampling-vector components recording an observed
+	// order flip — the target sat in those pairs' uncertain areas.
+	Flipped int
 	// Visited is the number of faces the matcher evaluated.
 	Visited int
+	// FellBack reports that the heuristic matcher rescanned exhaustively
+	// (only possible with Config.FallbackBelow > 0).
+	FellBack bool
 	// pairsTotal is the sampling vector's dimension, kept for
 	// Confidence.
 	pairsTotal int
@@ -256,8 +303,35 @@ func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
 
 // LocalizeGroup matches an externally collected grouping sampling — the
 // entry point used by the wsnnet substrate, whose reports arrive through
-// the simulated network rather than directly from the sampler.
+// the simulated network rather than directly from the sampler. When a
+// registry or tracer is attached it also records the localization's
+// telemetry; with neither the cost is two nil checks.
 func (t *Tracker) LocalizeGroup(g *sampling.Group) Estimate {
+	if t.metrics == nil && t.tracer == nil {
+		return t.localizeGroup(g)
+	}
+	end := obs.StartSpan(t.tracer, "core", "localize")
+	start := time.Now()
+	est := t.localizeGroup(g)
+	if m := t.metrics; m != nil {
+		m.latency.Observe(time.Since(start).Seconds())
+		m.localizations.Inc()
+		m.visited.Observe(float64(est.Visited))
+		m.stars.Add(float64(est.Stars))
+		m.flipped.Add(float64(est.Flipped))
+		m.missing.Add(float64(g.N() - g.NumReported()))
+		if est.FellBack {
+			m.fallbacks.Inc()
+		}
+	}
+	if est.FellBack {
+		obs.Emit(t.tracer, "core", "matcher_fallback", est.Similarity)
+	}
+	end()
+	return est
+}
+
+func (t *Tracker) localizeGroup(g *sampling.Group) Estimate {
 	var v vector.Vector
 	if t.cfg.Variant == Extended {
 		v = g.ExtendedVector()
@@ -272,7 +346,9 @@ func (t *Tracker) LocalizeGroup(g *sampling.Group) Estimate {
 		Similarity: r.Similarity,
 		Reported:   g.NumReported(),
 		Stars:      v.CountStars(),
+		Flipped:    v.CountFlipped(),
 		Visited:    r.Visited,
+		FellBack:   r.FellBack,
 		pairsTotal: v.Dim(),
 	}
 }

@@ -54,6 +54,7 @@ func Fig13(p Params) (*Fig13Result, error) {
 		HopDelay:     0.002,
 		ReportBits:   256,
 		Epsilon:      p.Epsilon,
+		Obs:          p.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -69,6 +70,7 @@ func Fig13(p Params) (*Fig13Result, error) {
 			Range:         p.Range,
 			CellSize:      p.CellSize,
 			Variant:       variant,
+			Obs:           p.Obs,
 		})
 	}
 	basicTr, err := mkTracker(core.Basic)

@@ -40,6 +40,7 @@ func NetworkLifetime(p Params, n, clusterK, maxRounds int, battery float64) ([]L
 			ReportBits:    256,
 			Epsilon:       p.Epsilon,
 			InitialEnergy: battery,
+			Obs:           p.Obs,
 		})
 	}
 	targetAt := func(round int) geom.Point {
@@ -131,6 +132,7 @@ func SyncAccuracy(p Params, periods []float64) ([]SyncAccuracyRow, error) {
 		CommRange:    50,
 		HopDelay:     0.002,
 		ReportBits:   256,
+		Obs:          p.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +186,7 @@ func DutyCycling(p Params, n int, radii []float64) ([]DutyCycleRow, error) {
 		SamplingTimes: p.K,
 		Range:         p.Range,
 		CellSize:      p.CellSize,
+		Obs:           p.Obs,
 	}
 	base, err := core.New(cfg)
 	if err != nil {
@@ -201,6 +204,7 @@ func DutyCycling(p Params, n int, radii []float64) ([]DutyCycleRow, error) {
 			HopDelay:     0.002,
 			ReportBits:   256,
 			Epsilon:      p.Epsilon,
+			Obs:          p.Obs,
 		})
 		if err != nil {
 			return DutyCycleRow{}, err
@@ -277,6 +281,7 @@ func MACContention(p Params, n, clusterK, rounds int, slots []int) ([]MACRow, er
 			ReportBits:      256,
 			Epsilon:         p.Epsilon,
 			ContentionSlots: slotCount,
+			Obs:             p.Obs,
 		})
 		if err != nil {
 			return 0, err

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/rf"
 )
 
@@ -43,6 +44,10 @@ type Params struct {
 	Trials int
 	// Seed roots all randomness; every trial derives a substream.
 	Seed uint64
+	// Obs, when non-nil, is threaded into every tracker / network /
+	// pipeline the drivers build, so one registry accumulates the whole
+	// figure's telemetry (cmd/fttt-bench resets it between figures).
+	Obs *obs.Registry
 }
 
 // Default returns the paper's Table 1 settings with harness defaults

@@ -183,6 +183,7 @@ func (s *scenario) Run(methods ...Method) (map[Method][]geom.Point, error) {
 				SamplingTimes: s.p.K,
 				Range:         s.p.Range,
 				CellSize:      s.p.CellSize,
+				Obs:           s.p.Obs,
 			}
 			if m == FTTTExtended {
 				cfg.Variant = core.Extended

@@ -35,6 +35,9 @@ type Result struct {
 	Visited int
 	// Rounds is the number of hill-climbing rounds (heuristic only).
 	Rounds int
+	// FellBack reports that the heuristic search converged below its
+	// FallbackBelow threshold and rescanned exhaustively.
+	FellBack bool
 }
 
 // Matcher locates the best face for a sampling vector.
@@ -203,6 +206,7 @@ func (m *Heuristic) Match(v vector.Vector, prev *field.Face) Result {
 		r := ex.Match(v, nil)
 		r.Visited += visited
 		r.Rounds = rounds
+		r.FellBack = true
 		return r
 	}
 	// The search returns a single face; ties among distant faces are not

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a consistent point-in-time copy of a registry's values,
+// ready to render. Taking a snapshot is cheap; instrumented components
+// keep running while it is written out.
+type Snapshot struct {
+	series []series
+}
+
+// series is one exported metric with its values copied out.
+type series struct {
+	base   string // metric family name (labels stripped)
+	labels string // `key="value",...` without braces; "" when unlabelled
+	typ    string
+	// counter / gauge value:
+	value float64
+	// histogram payload:
+	bounds []float64
+	counts []uint64 // cumulative per bound, then +Inf
+	sum    float64
+	total  uint64
+}
+
+// splitName separates an optional {label="value"} suffix from the
+// family name.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	for _, name := range r.names() {
+		m := r.get(name)
+		if m == nil {
+			continue
+		}
+		base, labels := splitName(name)
+		s := series{base: base, labels: labels, typ: m.kind()}
+		switch v := m.(type) {
+		case *Counter:
+			s.value = v.Value()
+		case *Gauge:
+			s.value = v.Value()
+		case *Histogram:
+			s.bounds = v.bounds
+			s.counts = make([]uint64, len(v.counts))
+			var cum uint64
+			for i := range v.counts {
+				cum += v.counts[i].Load()
+				s.counts[i] = cum
+			}
+			s.sum = v.Sum()
+			s.total = v.Count()
+		}
+		snap.series = append(snap.series, s)
+	}
+	return snap
+}
+
+// WriteTo renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4). It implements io.WriterTo.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	lastFamily := ""
+	for _, se := range s.series {
+		if se.base != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", se.base, se.typ)
+			lastFamily = se.base
+		}
+		switch se.typ {
+		case "counter", "gauge":
+			b.WriteString(se.base)
+			if se.labels != "" {
+				b.WriteString("{" + se.labels + "}")
+			}
+			b.WriteString(" " + formatValue(se.value) + "\n")
+		case "histogram":
+			for i := range se.counts {
+				le := "+Inf"
+				if i < len(se.bounds) {
+					le = formatValue(se.bounds[i])
+				}
+				b.WriteString(se.base + "_bucket{")
+				if se.labels != "" {
+					b.WriteString(se.labels + ",")
+				}
+				fmt.Fprintf(&b, "le=%q} %d\n", le, se.counts[i])
+			}
+			suffix := ""
+			if se.labels != "" {
+				suffix = "{" + se.labels + "}"
+			}
+			b.WriteString(se.base + "_sum" + suffix + " " + formatValue(se.sum) + "\n")
+			b.WriteString(se.base + "_count" + suffix + " " + strconv.FormatUint(se.total, 10) + "\n")
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

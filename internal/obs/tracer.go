@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer receives span and event callbacks from instrumented components.
+// Implementations must be safe for concurrent use. A nil Tracer means
+// "tracing off": every instrumented call site checks for nil before
+// invoking, so the disabled cost is one pointer comparison.
+type Tracer interface {
+	// Event records an instantaneous occurrence — a matcher fallback, a
+	// dropped packet — with an optional numeric value.
+	Event(component, name string, value float64)
+	// Span marks the start of operation name inside component and
+	// returns the function that ends it. Implementations typically
+	// timestamp both edges.
+	Span(component, name string) (end func())
+}
+
+// StartSpan opens a span on t, tolerating a nil tracer: the returned
+// end function is a shared no-op, so call sites read
+//
+//	defer obs.StartSpan(t, "core", "localize")()
+func StartSpan(t Tracer, component, name string) func() {
+	if t == nil {
+		return nopEnd
+	}
+	return t.Span(component, name)
+}
+
+// Emit reports an event on t, tolerating a nil tracer.
+func Emit(t Tracer, component, name string, value float64) {
+	if t != nil {
+		t.Event(component, name, value)
+	}
+}
+
+func nopEnd() {}
+
+// WriterTracer logs every span and event as one line on W — the
+// debugging tracer used by the examples and tests. Lines look like
+//
+//	span  core/localize 412µs
+//	event wsnnet/packet_lost 1
+type WriterTracer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Event implements Tracer.
+func (t *WriterTracer) Event(component, name string, value float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.W, "event %s/%s %g\n", component, name, value)
+}
+
+// Span implements Tracer.
+func (t *WriterTracer) Span(component, name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		fmt.Fprintf(t.W, "span  %s/%s %v\n", component, name, d)
+	}
+}
+
+// CountingTracer counts spans and events per component/name key —
+// the assertion helper the tests use.
+type CountingTracer struct {
+	mu     sync.Mutex
+	spans  map[string]int
+	events map[string]int
+}
+
+// Event implements Tracer.
+func (t *CountingTracer) Event(component, name string, _ float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.events == nil {
+		t.events = make(map[string]int)
+	}
+	t.events[component+"/"+name]++
+}
+
+// Span implements Tracer.
+func (t *CountingTracer) Span(component, name string) func() {
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.spans == nil {
+			t.spans = make(map[string]int)
+		}
+		t.spans[component+"/"+name]++
+	}
+}
+
+// Spans returns how many spans closed under component/name.
+func (t *CountingTracer) Spans(component, name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[component+"/"+name]
+}
+
+// Events returns how many events fired under component/name.
+func (t *CountingTracer) Events(component, name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events[component+"/"+name]
+}

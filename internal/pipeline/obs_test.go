@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"testing"
+
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/obs"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/wsnnet"
+)
+
+// TestPipelineTelemetry runs a short duty-cycled pipeline with one
+// shared registry across all three layers and checks each layer's
+// metrics appear — the single-scrape property the telemetry layer
+// promises.
+func TestPipelineTelemetry(t *testing.T) {
+	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Grid(field, 16)
+	reg := obs.NewRegistry()
+
+	net, err := wsnnet.New(wsnnet.Config{
+		Nodes:       dep.Positions(),
+		BaseStation: geom.Pt(50, -5),
+		Model:       rf.Default(),
+		CommRange:   45,
+		ReportBits:  256,
+		Epsilon:     1,
+		Obs:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := core.New(core.Config{
+		Field: field, Nodes: dep.Positions(), Model: rf.Default(),
+		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 4,
+		Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{
+		Net: net, Tracker: tr, Period: 0.5, K: 5,
+		WakeRadius: 50,
+		Obs:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := mobility.Waypoints([]geom.Point{geom.Pt(20, 20), geom.Pt(80, 80)}, 4)
+	updates := svc.Run(target, 5, randx.New(2))
+	if len(updates) == 0 {
+		t.Fatal("no updates")
+	}
+
+	if got := reg.Counter("fttt_pipeline_rounds_total").Value(); got != float64(len(updates)) {
+		t.Errorf("pipeline rounds = %v, want %d", got, len(updates))
+	}
+	if got := reg.Histogram("fttt_pipeline_wake_set_size", nil).Count(); got != uint64(len(updates)) {
+		t.Errorf("wake-set histogram count = %d, want %d", got, len(updates))
+	}
+	if got := reg.Histogram("fttt_pipeline_error_meters", nil).Count(); got != uint64(len(updates)) {
+		t.Errorf("error histogram count = %d, want %d", got, len(updates))
+	}
+	// The same scrape carries all three layers.
+	if reg.Counter("fttt_core_localizations_total").Value() != float64(len(updates)) {
+		t.Error("core metrics missing from the shared registry")
+	}
+	if reg.Counter("fttt_net_rounds_total").Value() != float64(len(updates)) {
+		t.Error("wsnnet metrics missing from the shared registry")
+	}
+}

@@ -8,11 +8,13 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"fttt/internal/core"
 	"fttt/internal/filter"
 	"fttt/internal/geom"
 	"fttt/internal/mobility"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/wsnnet"
 )
@@ -32,6 +34,13 @@ type Config struct {
 	// WakeRadius, when positive, duty-cycles the collection: only nodes
 	// within this radius of the previous estimate stay awake.
 	WakeRadius float64
+	// Obs, when non-nil, receives the pipeline's metrics (rounds, wall
+	// round duration, raw-vs-smoothed residual, wake-set size —
+	// DESIGN.md §"Telemetry"). Attach the same registry to the Net and
+	// Tracker configs to see all three layers in one scrape.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a span per localization round.
+	Tracer obs.Tracer
 }
 
 // Update is one localization round's outcome.
@@ -46,9 +55,29 @@ type Update struct {
 
 // Service is a ready-to-run online tracking pipeline.
 type Service struct {
-	cfg  Config
-	prev geom.Point
-	have bool
+	cfg     Config
+	prev    geom.Point
+	have    bool
+	metrics *serviceMetrics
+}
+
+// serviceMetrics caches the pipeline metric handles, resolved at New.
+type serviceMetrics struct {
+	rounds   *obs.Counter
+	duration *obs.Histogram
+	residual *obs.Histogram
+	errors   *obs.Histogram
+	wakeSet  *obs.Histogram
+}
+
+func newServiceMetrics(r *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		rounds:   r.Counter("fttt_pipeline_rounds_total"),
+		duration: r.Histogram("fttt_pipeline_round_duration_seconds", obs.ExpBuckets(1e-5, 2, 18)),
+		residual: r.Histogram("fttt_pipeline_smoothing_residual_meters", obs.ExpBuckets(0.125, 2, 10)),
+		errors:   r.Histogram("fttt_pipeline_error_meters", obs.ExpBuckets(0.25, 2, 10)),
+		wakeSet:  r.Histogram("fttt_pipeline_wake_set_size", obs.LinearBuckets(0, 4, 16)),
+	}
 }
 
 // New validates and assembles a Service.
@@ -62,7 +91,11 @@ func New(cfg Config) (*Service, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("pipeline: K must be ≥ 1, got %d", cfg.K)
 	}
-	return &Service{cfg: cfg}, nil
+	s := &Service{cfg: cfg}
+	if cfg.Obs != nil {
+		s.metrics = newServiceMetrics(cfg.Obs)
+	}
+	return s, nil
 }
 
 // Run tracks the target for duration virtual seconds, producing one
@@ -75,6 +108,11 @@ func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream
 
 	var round func(i int)
 	round = func(i int) {
+		endSpan := obs.StartSpan(s.cfg.Tracer, "pipeline", "round")
+		var wallStart time.Time
+		if s.metrics != nil {
+			wallStart = time.Now()
+		}
 		t := engine.Now()
 		truth := target.At(t)
 		var st wsnnet.RoundStats
@@ -106,6 +144,14 @@ func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream
 			Error: final.Dist(truth),
 			Stats: st,
 		})
+		if m := s.metrics; m != nil {
+			m.rounds.Inc()
+			m.duration.Observe(time.Since(wallStart).Seconds())
+			m.residual.Observe(raw.Dist(final))
+			m.errors.Observe(final.Dist(truth))
+			m.wakeSet.Observe(float64(st.Heard - st.Asleep))
+		}
+		endSpan()
 		if i+1 < rounds {
 			// CollectRound may have advanced the clock past the
 			// delivery latency; schedule relative to the round grid.

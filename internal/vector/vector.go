@@ -254,22 +254,29 @@ func (v Vector) String() string {
 	return "[" + strings.Join(parts, ",") + "]"
 }
 
+// CountFlipped returns the number of components that recorded at least
+// one observed order flip: the ternary Flipped value and the fractional
+// extended values — everything that is neither ±1 nor Star. This is the
+// per-localization flip count the telemetry layer exports
+// (fttt_core_flipped_pairs_total).
+func (v Vector) CountFlipped() int {
+	c := 0
+	for _, x := range v {
+		if x.IsStar() {
+			continue
+		}
+		if x > Farther && x < Nearer {
+			c++
+		}
+	}
+	return c
+}
+
 // CountStars returns the number of Star components.
 func (v Vector) CountStars() int {
 	n := 0
 	for _, x := range v {
 		if x.IsStar() {
-			n++
-		}
-	}
-	return n
-}
-
-// CountFlipped returns the number of Flipped (zero) components.
-func (v Vector) CountFlipped() int {
-	n := 0
-	for _, x := range v {
-		if !x.IsStar() && x == Flipped {
 			n++
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/sampling"
 )
@@ -79,6 +80,7 @@ func (n *Network) FormClusters(k int) (*Clusters, error) {
 // the member hop and to every hop of the head's path; losing the
 // aggregate loses every report it carried — the aggregation trade-off.
 func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, rng *randx.Stream) (*sampling.Group, RoundStats) {
+	endSpan := obs.StartSpan(n.tracer, "wsnnet", "collect_round_clustered")
 	nn := len(n.cfg.Nodes)
 	g := &sampling.Group{
 		RSS:      make([][]float64, k),
@@ -262,5 +264,7 @@ func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, 
 		n.engine.Run()
 	}
 	stats.EnergySpent = total(n.Energy) - energyBefore
+	n.recordRound(stats)
+	endSpan()
 	return g, stats
 }

@@ -16,6 +16,7 @@ import (
 
 	"fttt/internal/desim"
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -54,6 +55,13 @@ type Config struct {
 	// Clustered collection gives cluster members TDMA slots (collision
 	// free) with only heads contending — the clustering benefit [28].
 	ContentionSlots int
+	// Obs, when non-nil, receives the substrate's metrics (reports
+	// heard/delivered/lost, hop counts, delivery latency, collisions,
+	// energy drained per mote, dead motes — DESIGN.md §"Telemetry").
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a span per collection round and an
+	// event per lost/unroutable/collided report.
+	Tracer obs.Tracer
 }
 
 // Validate reports configuration errors.
@@ -101,6 +109,48 @@ type Network struct {
 	// route-discovery detour real stacks perform. -1 delivers directly,
 	// -2 means truly disconnected.
 	bfsNext []int
+	metrics *netMetrics
+	tracer  obs.Tracer
+}
+
+// netMetrics caches the substrate metric handles, resolved once at New.
+type netMetrics struct {
+	rounds     *obs.Counter
+	heard      *obs.Counter
+	delivered  *obs.Counter
+	lostHops   *obs.Counter
+	voids      *obs.Counter
+	collisions *obs.Counter
+	asleep     *obs.Counter
+	deadSkips  *obs.Counter
+	hops       *obs.Histogram
+	latency    *obs.Histogram
+	energy     *obs.Counter
+	deadMotes  *obs.Gauge
+	// moteEnergy[i] mirrors Energy[i] as a labelled gauge series.
+	moteEnergy []*obs.Gauge
+}
+
+func newNetMetrics(r *obs.Registry, n int) *netMetrics {
+	m := &netMetrics{
+		rounds:     r.Counter("fttt_net_rounds_total"),
+		heard:      r.Counter("fttt_net_reports_heard_total"),
+		delivered:  r.Counter("fttt_net_reports_delivered_total"),
+		lostHops:   r.Counter("fttt_net_reports_lost_total"),
+		voids:      r.Counter("fttt_net_reports_void_total"),
+		collisions: r.Counter("fttt_net_collisions_total"),
+		asleep:     r.Counter("fttt_net_reports_asleep_total"),
+		deadSkips:  r.Counter("fttt_net_reports_dead_total"),
+		hops:       r.Histogram("fttt_net_report_hops", obs.LinearBuckets(1, 1, 12)),
+		latency:    r.Histogram("fttt_net_delivery_latency_seconds", obs.ExpBuckets(1e-4, 2, 16)),
+		energy:     r.Counter("fttt_net_energy_joules_total"),
+		deadMotes:  r.Gauge("fttt_net_dead_motes"),
+		moteEnergy: make([]*obs.Gauge, n),
+	}
+	for i := range m.moteEnergy {
+		m.moteEnergy[i] = r.Gauge(fmt.Sprintf("fttt_net_mote_energy_joules{mote=%q}", fmt.Sprint(i)))
+	}
+	return m
 }
 
 // New validates the config and precomputes the forwarding graph.
@@ -122,6 +172,10 @@ func New(cfg Config) (*Network, error) {
 		n.nextHop[i] = n.greedyNextHop(i, p)
 	}
 	n.buildBFSTree()
+	if cfg.Obs != nil {
+		n.metrics = newNetMetrics(cfg.Obs, len(cfg.Nodes))
+	}
+	n.tracer = cfg.Tracer
 	return n, nil
 }
 
@@ -255,6 +309,7 @@ func (n *Network) CollectRoundFocused(target, focus geom.Point, wakeRadius float
 }
 
 func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awake func(i int) bool) (*sampling.Group, RoundStats) {
+	endSpan := obs.StartSpan(n.tracer, "wsnnet", "collect_round")
 	nn := len(n.cfg.Nodes)
 	g := &sampling.Group{
 		RSS:      make([][]float64, k),
@@ -287,6 +342,7 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 			// a same-slot neighbor.
 			n.spend(i, sampleEnergy*float64(k)+txEnergy(n.cfg.ReportBits, n.cfg.CommRange))
 			stats.Collisions++
+			obs.Emit(n.tracer, "wsnnet", "report_collided", float64(i))
 			continue
 		}
 		// Sample the target's signal (shadowing constant within the
@@ -304,6 +360,7 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 		path, routable := n.PathTo(i)
 		if !routable {
 			stats.Voids++
+			obs.Emit(n.tracer, "wsnnet", "report_void", float64(i))
 			continue
 		}
 		delivered := true
@@ -328,9 +385,14 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 			}
 		}
 		if !delivered {
+			obs.Emit(n.tracer, "wsnnet", "report_lost", float64(i))
 			continue
 		}
 		stats.Delivered++
+		if m := n.metrics; m != nil {
+			m.hops.Observe(float64(len(path)))
+			m.latency.Observe(latency)
+		}
 		if latency > stats.MaxLatency {
 			stats.MaxLatency = latency
 		}
@@ -345,7 +407,31 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 		n.engine.Run()
 	}
 	stats.EnergySpent = total(n.Energy) - energyBefore
+	n.recordRound(stats)
+	endSpan()
 	return g, stats
+}
+
+// recordRound folds one round's aggregate stats into the metrics; no-op
+// without a registry.
+func (n *Network) recordRound(stats RoundStats) {
+	m := n.metrics
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+	m.heard.Add(float64(stats.Heard))
+	m.delivered.Add(float64(stats.Delivered))
+	m.lostHops.Add(float64(stats.LostHops))
+	m.voids.Add(float64(stats.Voids))
+	m.collisions.Add(float64(stats.Collisions))
+	m.asleep.Add(float64(stats.Asleep))
+	m.deadSkips.Add(float64(stats.Dead))
+	m.energy.Add(stats.EnergySpent)
+	m.deadMotes.Set(float64(len(n.cfg.Nodes) - n.AliveCount()))
+	for i, mg := range m.moteEnergy {
+		mg.Set(n.Energy[i])
+	}
 }
 
 // contention simulates the slotted MAC for one round and returns the set
