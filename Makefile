@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench tools clean
+.PHONY: build test race vet allocgate check bench tools clean
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,14 @@ race:
 vet:
 	$(GO) vet ./...
 
+# allocgate pins the hot-path allocation budgets (alloc_test.go). It must
+# run without -race: the race runtime allocates on the code's behalf, so
+# the gates skip themselves under it.
+allocgate:
+	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget' -count 1 -v .
+
 # check is the full local gate: what CI runs.
-check: vet build race
+check: vet build race allocgate
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

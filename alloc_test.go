@@ -1,0 +1,105 @@
+// Allocation-regression gates for the localization hot path (run by
+// `make check`). The matcher owns reusable scratch (epoch-stamped
+// visited slice, recycled frontier heap), so a warmed-up Heuristic.Match
+// performs zero allocations; LocalizeGroup on top of it allocates only
+// the sampling vector. These tests pin those budgets so a stray
+// per-call map or heap box cannot creep back in unnoticed.
+package fttt_test
+
+import (
+	"testing"
+
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/match"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/vector"
+)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; gate runs in the non-race pass")
+	}
+}
+
+func TestHeuristicMatchZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	rc, err := field.NewRatioClassifier(dep.Positions(), rf.Default().UncertaintyC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := field.Divide(fieldRect, rc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sampling.Sampler{Model: rf.Default(), Nodes: dep.Positions(), Range: 40, Epsilon: 1}
+	m := &match.Heuristic{Div: div}
+	// A spread of probes so the gate holds across cold starts, warm
+	// starts and frontier growth, not just one lucky vector.
+	rng := randx.New(9)
+	type probe struct {
+		v    vector.Vector
+		prev *field.Face
+	}
+	probes := make([]probe, 16)
+	for i := range probes {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		probes[i].v = s.Sample(p, 5, rng.SplitN("probe", i)).Vector()
+		if i%3 != 0 {
+			probes[i].prev = div.FaceAt(p)
+		}
+	}
+	for _, pr := range probes { // warm up: grow seen + frontier scratch
+		m.Match(pr.v, pr.prev)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		pr := probes[i%len(probes)]
+		m.Match(pr.v, pr.prev)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("warmed-up Heuristic.Match allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestLocalizeGroupAllocBudget(t *testing.T) {
+	skipUnderRace(t)
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	tr, err := core.New(core.Config{
+		Field: fieldRect, Nodes: dep.Positions(), Model: rf.Default(),
+		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sampling.Sampler{Model: rf.Default(), Nodes: dep.Positions(), Range: 40, Epsilon: 1}
+	rng := randx.New(10)
+	groups := make([]*sampling.Group, 16)
+	for i := range groups {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		groups[i] = s.Sample(p, 5, rng.SplitN("g", i))
+	}
+	for _, g := range groups {
+		tr.LocalizeGroup(g)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.LocalizeGroup(groups[i%len(groups)])
+		i++
+	})
+	// One allocation for the sampling vector (Group.Vector); the matcher
+	// itself must contribute none.
+	const budget = 2
+	if allocs > budget {
+		t.Errorf("LocalizeGroup allocates %.1f objects/op, budget %d", allocs, budget)
+	}
+}

@@ -11,6 +11,7 @@
 package fttt_test
 
 import (
+	"runtime"
 	"testing"
 
 	"fttt/internal/core"
@@ -277,5 +278,59 @@ func BenchmarkLocalizeInstrumented(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Localize(geom.Pt(40, 60), rng.SplitN("loc", i))
+	}
+}
+
+// BenchmarkDivideSerial and BenchmarkDivideParallel compare the
+// signature-pass construction cost for one worker against the machine's
+// CPU count (the Divide default). On a single-core box they coincide;
+// the byte-identical-output guarantee is covered by the field tests.
+func BenchmarkDivideSerial(b *testing.B)   { benchDivide(b, 1) }
+func BenchmarkDivideParallel(b *testing.B) { benchDivide(b, runtime.NumCPU()) }
+
+func benchDivide(b *testing.B, workers int) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Grid(fieldRect, 20)
+	rc, err := field.NewRatioClassifier(dep.Positions(), rf.Default().UncertaintyC(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := field.DivideWorkers(fieldRect, rc, 1, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiTargetSerial / BenchmarkMultiTargetParallel measure one
+// LocalizeAll round over 8 targets, serial vs pooled across all CPUs.
+func BenchmarkMultiTargetSerial(b *testing.B)   { benchMultiTarget(b, 1) }
+func BenchmarkMultiTargetParallel(b *testing.B) { benchMultiTarget(b, 0) }
+
+func benchMultiTarget(b *testing.B, workers int) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	mt, err := core.NewMulti(core.Config{
+		Field: fieldRect, Nodes: dep.Positions(), Model: rf.Default(),
+		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const targets = 8
+	batch := make([]core.TargetPosition, targets)
+	for g := range batch {
+		batch[g] = core.TargetPosition{
+			ID:  string(rune('a' + g)),
+			Pos: geom.Pt(12+float64(g*11), 85-float64(g*9)),
+		}
+	}
+	rng := randx.New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mt.LocalizeAll(batch, rng.SplitN("round", i), workers); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -7,10 +7,16 @@
 // sampler; with -telemetry-addr the run exposes live Prometheus metrics,
 // expvar and pprof while it executes.
 //
+// With -targets N (sampler mode) one MultiTracker serves N concurrent
+// targets over a single shared division, batching each round's
+// localizations across a -parallel worker pool; estimates are identical
+// for every worker count.
+//
 // Usage:
 //
 //	fttt-sim -n 20 -k 5 -eps 1 -duration 60 -strategy fttt-ext -seed 7
 //	fttt-sim -net -duration 600 -telemetry-addr :9090   # curl :9090/metrics
+//	fttt-sim -targets 8 -parallel 0 -duration 60        # multi-target serving
 package main
 
 import (
@@ -47,6 +53,7 @@ type simConfig struct {
 	verbose, report            bool
 	net                        bool
 	commRange, hopLoss, hopDel float64
+	targets, parallel          int
 	obs                        *obs.Registry
 }
 
@@ -82,6 +89,8 @@ func main() {
 		commRange = flag.Float64("comm", 50, "mote radio range (m, -net mode)")
 		hopLoss   = flag.Float64("hoploss", 0.05, "per-hop loss probability (-net mode)")
 		hopDelay  = flag.Float64("hopdelay", 0.002, "per-hop delay (s, -net mode)")
+		targets   = flag.Int("targets", 1, "number of concurrent targets (sampler mode, fttt strategies)")
+		parallel  = flag.Int("parallel", 0, "multi-target localization workers (0 = all CPUs, 1 = serial; with -targets > 1)")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
@@ -110,6 +119,7 @@ func main() {
 		verbose:  *verbose && *trials == 1,
 		report:   *trials == 1,
 		net:      *netMode, commRange: *commRange, hopLoss: *hopLoss, hopDel: *hopDelay,
+		targets: *targets, parallel: *parallel,
 		obs: reg,
 	}
 
@@ -189,11 +199,96 @@ func run(c simConfig) (simResult, error) {
 		return simResult{}, fmt.Errorf("unknown deployment %q", c.layout)
 	}
 
+	if c.targets > 1 {
+		if c.net {
+			return simResult{}, fmt.Errorf("-targets > 1 requires sampler mode (drop -net)")
+		}
+		if c.strategy != "fttt" && c.strategy != "fttt-ext" {
+			return simResult{}, fmt.Errorf("-targets supports the fttt strategies, not %q", c.strategy)
+		}
+		return runMulti(c, field, dep, model, root)
+	}
+
 	mob := mobility.RandomWaypoint(field, c.vmin, c.vmax, c.duration, root.Split("mobility"))
 	if c.net {
 		return runNet(c, field, dep, model, mob, root)
 	}
 	return runSampler(c, field, dep, model, mob, root)
+}
+
+// runMulti serves several concurrent targets from one MultiTracker over
+// the shared division: each round batches every target's localization
+// through LocalizeAll's worker pool. Results are deterministic for every
+// -parallel value; the wall-clock throughput line shows the speedup.
+func runMulti(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
+	root *randx.Stream) (simResult, error) {
+
+	variant := core.Basic
+	if c.strategy == "fttt-ext" {
+		variant = core.Extended
+	}
+	mt, err := core.NewMulti(core.Config{
+		Field: field, Nodes: dep.Positions(), Model: model,
+		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
+		ReportLoss: c.loss, Variant: variant, Obs: c.obs,
+	})
+	if err != nil {
+		return simResult{}, err
+	}
+
+	// One independent random-waypoint trace per target.
+	ids := make([]string, c.targets)
+	mobs := make([]mobility.Model, c.targets)
+	for t := 0; t < c.targets; t++ {
+		ids[t] = fmt.Sprintf("target-%02d", t)
+		mobs[t] = mobility.RandomWaypoint(field, c.vmin, c.vmax, c.duration, root.SplitN("mobility", t))
+	}
+	if c.report {
+		div := mt.Division()
+		fmt.Printf("division: %d faces, %d links; targets=%d workers=%d\n",
+			div.NumFaces(), div.NeighborLinkCount(), c.targets, c.parallel)
+	}
+
+	rounds := int(c.duration/c.locPeriod) + 1
+	perTarget := make([][]float64, c.targets)
+	res := simResult{}
+	batch := make([]core.TargetPosition, c.targets)
+	wallStart := time.Now()
+	for i := 0; i < rounds; i++ {
+		tm := float64(i) * c.locPeriod
+		for t := 0; t < c.targets; t++ {
+			batch[t] = core.TargetPosition{ID: ids[t], Pos: mobs[t].At(tm)}
+		}
+		ests, err := mt.LocalizeAll(batch, root.SplitN("round", i), c.parallel)
+		if err != nil {
+			return simResult{}, err
+		}
+		for t := 0; t < c.targets; t++ {
+			e := ests[ids[t]].Pos.Dist(batch[t].Pos)
+			perTarget[t] = append(perTarget[t], e)
+			res.errs = append(res.errs, e)
+			res.delivered += ests[ids[t]].Reported
+			res.heard += inRange(dep.Positions(), batch[t].Pos, c.rng)
+		}
+		res.rounds += c.targets
+	}
+	wall := time.Since(wallStart)
+
+	if c.report {
+		for t := 0; t < c.targets; t++ {
+			s := stats.Summarize(perTarget[t])
+			fmt.Printf("%s: mean=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
+				ids[t], s.Mean, s.Median, s.P90, s.Max)
+		}
+		s := stats.Summarize(res.errs)
+		fmt.Printf("strategy=%s targets=%d n=%d k=%d seed=%d localizations=%d\n",
+			c.strategy, c.targets, c.n, c.k, c.seed, s.N)
+		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
+			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
+		fmt.Printf("throughput: %d localizations in %v (%.0f/s, workers=%d)\n",
+			s.N, wall.Round(time.Millisecond), float64(s.N)/wall.Seconds(), c.parallel)
+	}
+	return res, nil
 }
 
 // runNet drives the fttt strategies through the full online pipeline:

@@ -92,8 +92,15 @@ type (
 // Multi-target and sampling types.
 type (
 	// MultiTracker tracks several distinguishable targets over one
-	// shared field division.
+	// shared field division. It is safe for concurrent use; distinct
+	// targets localize in parallel.
 	MultiTracker = core.MultiTracker
+	// TargetPosition names one target's true position for a batch
+	// MultiTracker.LocalizeAll round.
+	TargetPosition = core.TargetPosition
+	// TargetGroup names one target's grouping sampling for a batch
+	// MultiTracker.LocalizeGroups round.
+	TargetGroup = core.TargetGroup
 	// Sampler draws grouping samplings from the signal model — use it
 	// when feeding LocalizeGroup with externally collected samples.
 	Sampler = sampling.Sampler
@@ -212,6 +219,21 @@ func Track(cfg Config, trace []Point, times []float64, seed uint64) ([]TrackedPo
 		return nil, err
 	}
 	return tr.Track(trace, times, randx.New(seed)), nil
+}
+
+// TrackParallel tracks several independent traces concurrently over one
+// shared field division, fanning the traces across workers goroutines
+// (≤ 0 selects the machine's CPU count; 1 is serial). The division is
+// preprocessed once; each trace runs on its own cheap tracker clone with
+// a per-trace random substream, so the result is identical for every
+// worker count — and identical to calling Track on each trace with that
+// substream. See DESIGN.md §8 for the concurrency model.
+func TrackParallel(cfg Config, traces [][]Point, times [][]float64, seed uint64, workers int) ([][]TrackedPoint, error) {
+	tr, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return tr.TrackParallel(traces, times, randx.New(seed), workers)
 }
 
 // MeanError returns the mean tracking error of a tracked trace.

@@ -156,3 +156,55 @@ func TestTrackPropagatesConfigErrors(t *testing.T) {
 		t.Error("invalid config should error")
 	}
 }
+
+func TestTrackParallelFacade(t *testing.T) {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	cfg := fttt.DefaultConfig(fttt.DeployGrid(field, 16))
+	cfg.CellSize = 2
+
+	const traces, steps = 4, 10
+	ps := make([][]fttt.Point, traces)
+	for i := range ps {
+		ps[i] = make([]fttt.Point, steps)
+		for j := range ps[i] {
+			ps[i][j] = fttt.Pt(10+float64(i*20+j), 20+float64(i*15+j))
+		}
+	}
+
+	serial, err := fttt.TrackParallel(cfg, ps, nil, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := fttt.TrackParallel(cfg, ps, nil, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != traces || len(pooled) != traces {
+		t.Fatalf("got %d/%d traces, want %d", len(serial), len(pooled), traces)
+	}
+	for i := range serial {
+		if len(serial[i]) != steps {
+			t.Fatalf("trace %d: %d points, want %d", i, len(serial[i]), steps)
+		}
+		for j := range serial[i] {
+			if serial[i][j].Estimate != pooled[i][j].Estimate {
+				t.Fatalf("trace %d step %d: serial %v vs pooled %v",
+					i, j, serial[i][j].Estimate, pooled[i][j].Estimate)
+			}
+			if !field.Contains(serial[i][j].Estimate.Pos) {
+				t.Fatalf("trace %d step %d: estimate outside field", i, j)
+			}
+		}
+	}
+
+	// Config errors surface before any goroutine is spawned.
+	bad := cfg
+	bad.CellSize = -1
+	if _, err := fttt.TrackParallel(bad, ps, nil, 1, 2); err == nil {
+		t.Error("invalid config should fail")
+	}
+	// times shape errors propagate from the core layer.
+	if _, err := fttt.TrackParallel(cfg, ps, make([][]float64, 1), 1, 2); err == nil {
+		t.Error("times length mismatch should fail")
+	}
+}

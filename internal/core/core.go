@@ -129,6 +129,13 @@ func (c Config) Validate() error {
 }
 
 // Tracker is a ready-to-run FTTT instance.
+//
+// A Tracker is single-goroutine: it owns mutable warm-start state (the
+// previous face) and its matcher's search scratch. The preprocessed
+// Division is immutable and may be shared across any number of trackers —
+// use NewWithDivision to clone cheap trackers over one division,
+// TrackParallel to fan independent traces across a worker pool, or
+// MultiTracker for concurrent multi-target serving.
 type Tracker struct {
 	cfg     Config
 	div     *field.Division
@@ -384,6 +391,43 @@ func (t *Tracker) Track(trace []geom.Point, times []float64, rng *randx.Stream) 
 	return out
 }
 
+// TrackParallel tracks several independent traces concurrently over this
+// tracker's shared division, fanning the traces across a pool of workers
+// (≤ 0 selects runtime.NumCPU(); 1 is serial). Trace i runs on a fresh
+// tracker cloned over the shared division (its own warm-start state and
+// matcher scratch) with the substream rng.SplitN("trace", i), so the
+// output is identical for every worker count — and identical to tracking
+// each trace serially on a fresh tracker with the same substream.
+// times[i] pairs with traces[i] like Track's times; times may be nil, as
+// may individual entries.
+func (t *Tracker) TrackParallel(traces [][]geom.Point, times [][]float64, rng *randx.Stream, workers int) ([][]TrackedPoint, error) {
+	if times != nil && len(times) != len(traces) {
+		return nil, fmt.Errorf("core: %d traces but %d times entries", len(traces), len(times))
+	}
+	clones := make([]*Tracker, len(traces))
+	streams := make([]*randx.Stream, len(traces))
+	for i := range traces {
+		if times != nil && times[i] != nil && len(times[i]) != len(traces[i]) {
+			return nil, fmt.Errorf("core: trace %d has %d points but %d times", i, len(traces[i]), len(times[i]))
+		}
+		tr, err := NewWithDivision(t.cfg, t.div)
+		if err != nil {
+			return nil, err
+		}
+		clones[i] = tr
+		streams[i] = rng.SplitN("trace", i)
+	}
+	out := make([][]TrackedPoint, len(traces))
+	fanOut(len(traces), workers, func(i int) {
+		var tm []float64
+		if times != nil {
+			tm = times[i]
+		}
+		out[i] = clones[i].Track(traces[i], tm, streams[i])
+	})
+	return out, nil
+}
+
 // Errors extracts the per-point tracking errors from a tracked trace.
 func Errors(pts []TrackedPoint) []float64 {
 	errs := make([]float64, len(pts))
@@ -419,15 +463,13 @@ func RequiredSamplingTimes(nPairs int, lambda float64) int {
 // FlipCaptureProbability returns the Sec. 5.1 probability that a grouping
 // sampling of k instants captures all of nPairs expected flipped pairs:
 // (1 − (1/2)^(k−1))^(N−1) per Appendix I's closed form as used in the
-// body of the paper.
+// body of the paper. For nPairs ≤ 1 the exponent N−1 is ≤ 0 and the
+// probability is 1 — there is at most one expected flipped pair, which
+// the formula's conditioning already accounts for.
 func FlipCaptureProbability(nPairs, k int) float64 {
-	if nPairs <= 0 {
+	if nPairs <= 1 {
 		return 1
 	}
 	f := math.Pow(0.5, float64(k-1))
-	exp := float64(nPairs - 1)
-	if exp < 1 {
-		exp = 1
-	}
-	return math.Pow(1-f, exp)
+	return math.Pow(1-f, float64(nPairs-1))
 }

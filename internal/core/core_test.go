@@ -327,6 +327,14 @@ func TestFlipCaptureProbability(t *testing.T) {
 	if got := FlipCaptureProbability(0, 5); got != 1 {
 		t.Errorf("no pairs capture prob = %v, want 1", got)
 	}
+	// A single pair has no *other* pair whose flip could be missed, so
+	// the capture probability is exactly 1 for every k — the old
+	// exponent clamp (max(nPairs-1, 1)) wrongly returned 1-(1/2)^(k-1).
+	for _, k := range []int{1, 2, 5, 20} {
+		if got := FlipCaptureProbability(1, k); got != 1 {
+			t.Errorf("one pair, k=%d: capture prob = %v, want exactly 1", k, got)
+		}
+	}
 }
 
 func TestFlipCaptureProbabilityMonteCarlo(t *testing.T) {

@@ -2,9 +2,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/randx"
 	"fttt/internal/sampling"
 )
 
@@ -14,10 +19,26 @@ import (
 // resonator generalises to one frequency per target, so sensors report
 // per-target RSS separately). Each target keeps its own warm-start face;
 // the expensive preprocessing (Sec. 4.3) is shared.
+//
+// A MultiTracker is safe for concurrent use: the target table is
+// mutex-protected and each target's localizations are serialized on a
+// per-target lock, so goroutines localizing distinct targets proceed in
+// parallel while the shared Division is only ever read. LocalizeAll and
+// LocalizeGroups fan a whole batch across a worker pool.
 type MultiTracker struct {
-	base     Config
-	shared   *Tracker // owns the division
-	trackers map[string]*Tracker
+	base   Config
+	shared *Tracker // owns the division
+
+	mu      sync.RWMutex
+	targets map[string]*targetState
+}
+
+// targetState is one target's tracker plus the lock serializing its
+// localizations (Tracker is single-goroutine: warm-start face and matcher
+// scratch).
+type targetState struct {
+	mu sync.Mutex
+	tr *Tracker
 }
 
 // NewMulti preprocesses the division once and returns an empty
@@ -28,54 +49,177 @@ func NewMulti(cfg Config) (*MultiTracker, error) {
 		return nil, err
 	}
 	return &MultiTracker{
-		base:     cfg,
-		shared:   shared,
-		trackers: make(map[string]*Tracker),
+		base:    cfg,
+		shared:  shared,
+		targets: make(map[string]*targetState),
 	}, nil
 }
 
 // Targets returns the known target IDs in sorted order.
 func (m *MultiTracker) Targets() []string {
-	ids := make([]string, 0, len(m.trackers))
-	for id := range m.trackers {
+	m.mu.RLock()
+	ids := make([]string, 0, len(m.targets))
+	for id := range m.targets {
 		ids = append(ids, id)
 	}
+	m.mu.RUnlock()
 	sort.Strings(ids)
 	return ids
 }
 
-// tracker returns (creating if needed) the per-target tracker.
-func (m *MultiTracker) tracker(targetID string) (*Tracker, error) {
-	if tr, ok := m.trackers[targetID]; ok {
-		return tr, nil
+// target returns (creating if needed) the per-target state.
+func (m *MultiTracker) target(targetID string) (*targetState, error) {
+	if targetID == "" {
+		return nil, fmt.Errorf("core: empty target ID")
+	}
+	m.mu.RLock()
+	ts, ok := m.targets[targetID]
+	m.mu.RUnlock()
+	if ok {
+		return ts, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts, ok = m.targets[targetID]; ok { // lost the create race
+		return ts, nil
 	}
 	tr, err := NewWithDivision(m.base, m.shared.Division())
 	if err != nil {
 		return nil, err
 	}
-	m.trackers[targetID] = tr
-	return tr, nil
+	ts = &targetState{tr: tr}
+	m.targets[targetID] = ts
+	return ts, nil
 }
 
 // LocalizeGroup matches one target's grouping sampling, warm-starting
-// from that target's previous face.
+// from that target's previous face. Calls for distinct targets may run
+// concurrently; calls for the same target serialize.
 func (m *MultiTracker) LocalizeGroup(targetID string, g *sampling.Group) (Estimate, error) {
-	if targetID == "" {
-		return Estimate{}, fmt.Errorf("core: empty target ID")
-	}
-	tr, err := m.tracker(targetID)
+	ts, err := m.target(targetID)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return tr.LocalizeGroup(g), nil
+	ts.mu.Lock()
+	est := ts.tr.LocalizeGroup(g)
+	ts.mu.Unlock()
+	return est, nil
+}
+
+// TargetPosition names one target's true position for a batch
+// localization round.
+type TargetPosition struct {
+	ID  string
+	Pos geom.Point
+}
+
+// TargetGroup names one target's externally collected grouping sampling
+// for a batch localization round.
+type TargetGroup struct {
+	ID    string
+	Group *sampling.Group
+}
+
+// LocalizeAll samples and localizes every target of the batch, fanning
+// the work across a pool of workers (≤ 0 selects runtime.NumCPU(); 1 is
+// serial). Target i draws its sampling noise from the substream
+// rng.Split(batch[i].ID), so the estimates are identical for every worker
+// count and schedule — and identical to localizing each target alone with
+// the same substream. IDs should be unique within one batch; duplicates
+// are localized serially in unspecified relative order.
+func (m *MultiTracker) LocalizeAll(batch []TargetPosition, rng *randx.Stream, workers int) (map[string]Estimate, error) {
+	states := make([]*targetState, len(batch))
+	streams := make([]*randx.Stream, len(batch))
+	for i, tp := range batch {
+		ts, err := m.target(tp.ID)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = ts
+		streams[i] = rng.Split(tp.ID)
+	}
+	ests := make([]Estimate, len(batch))
+	fanOut(len(batch), workers, func(i int) {
+		ts := states[i]
+		ts.mu.Lock()
+		ests[i] = ts.tr.Localize(batch[i].Pos, streams[i])
+		ts.mu.Unlock()
+	})
+	out := make(map[string]Estimate, len(batch))
+	for i, tp := range batch {
+		out[tp.ID] = ests[i]
+	}
+	return out, nil
+}
+
+// LocalizeGroups is LocalizeAll for externally collected grouping
+// samplings (the wsnnet path): each target's group is matched on a worker
+// from the pool, warm-starting from that target's previous face.
+func (m *MultiTracker) LocalizeGroups(batch []TargetGroup, workers int) (map[string]Estimate, error) {
+	states := make([]*targetState, len(batch))
+	for i, tg := range batch {
+		ts, err := m.target(tg.ID)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = ts
+	}
+	ests := make([]Estimate, len(batch))
+	fanOut(len(batch), workers, func(i int) {
+		ts := states[i]
+		ts.mu.Lock()
+		ests[i] = ts.tr.LocalizeGroup(batch[i].Group)
+		ts.mu.Unlock()
+	})
+	out := make(map[string]Estimate, len(batch))
+	for i, tg := range batch {
+		out[tg.ID] = ests[i]
+	}
+	return out, nil
 }
 
 // Forget drops a target's state (e.g. it left the field).
 func (m *MultiTracker) Forget(targetID string) {
-	delete(m.trackers, targetID)
+	m.mu.Lock()
+	delete(m.targets, targetID)
+	m.mu.Unlock()
 }
 
 // Division exposes the shared preprocessed division.
 func (m *MultiTracker) Division() *field.Division {
 	return m.shared.Division()
+}
+
+// fanOut runs job(0..n-1) on a pool of workers (≤ 0 selects
+// runtime.NumCPU(), capped at n; 1 runs inline). Jobs are claimed from an
+// atomic counter, so every job runs exactly once.
+func fanOut(n, workers int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"fttt/internal/geom"
@@ -120,9 +122,246 @@ func TestMultiTrackerSharesDivision(t *testing.T) {
 	}
 	// All per-target trackers point at the same division.
 	div := m.Division()
-	for id, tr := range m.trackers {
-		if tr.Division() != div {
+	for id, ts := range m.targets {
+		if ts.tr.Division() != div {
 			t.Errorf("target %s has its own division", id)
 		}
+	}
+}
+
+func TestMultiTrackerConcurrentDistinctTargets(t *testing.T) {
+	// Goroutines localizing distinct targets concurrently (run under
+	// -race) must produce exactly the estimates each target gets when
+	// localized alone on a fresh MultiTracker.
+	cfg := defaultConfig(16)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+	const targets, rounds = 8, 20
+
+	pos := func(g, i int) geom.Point {
+		return geom.Pt(10+float64(g*10+i)/2, 90-float64(g*8+i)/2)
+	}
+	reference := func(g int) []geom.Point {
+		m, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("t%d", g)
+		out := make([]geom.Point, rounds)
+		for i := 0; i < rounds; i++ {
+			grp := s.Sample(pos(g, i), cfg.SamplingTimes, randx.New(uint64(g)).SplitN("r", i))
+			e, err := m.LocalizeGroup(id, grp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = e.Pos
+		}
+		return out
+	}
+	want := make([][]geom.Point, targets)
+	for g := 0; g < targets; g++ {
+		want[g] = reference(g)
+	}
+
+	m, err := NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, targets)
+	for g := 0; g < targets; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("t%d", g)
+			for i := 0; i < rounds; i++ {
+				grp := s.Sample(pos(g, i), cfg.SamplingTimes, randx.New(uint64(g)).SplitN("r", i))
+				e, err := m.LocalizeGroup(id, grp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if e.Pos != want[g][i] {
+					errs <- fmt.Errorf("target %d round %d: %v, want %v (cross-target interference)", g, i, e.Pos, want[g][i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := len(m.Targets()); got != targets {
+		t.Errorf("%d targets registered, want %d", got, targets)
+	}
+}
+
+func TestMultiTrackerLocalizeAllParallelMatchesSerial(t *testing.T) {
+	// LocalizeAll draws each target's noise from rng.Split(ID), so the
+	// batch result is identical for every worker count.
+	cfg := defaultConfig(16)
+	const targets, rounds = 6, 10
+
+	run := func(workers int) []map[string]Estimate {
+		m, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := randx.New(99)
+		var out []map[string]Estimate
+		for i := 0; i < rounds; i++ {
+			batch := make([]TargetPosition, targets)
+			for g := range batch {
+				batch[g] = TargetPosition{
+					ID:  fmt.Sprintf("target-%d", g),
+					Pos: geom.Pt(15+float64(g*12+i), 20+float64(g*9+i)/2),
+				}
+			}
+			ests, err := m.LocalizeAll(batch, root.SplitN("round", i), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ests)
+		}
+		return out
+	}
+
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8, 0} {
+		par := run(workers)
+		for i := range serial {
+			if len(par[i]) != len(serial[i]) {
+				t.Fatalf("workers=%d round %d: %d estimates, want %d", workers, i, len(par[i]), len(serial[i]))
+			}
+			for id, e := range serial[i] {
+				if pe := par[i][id]; pe.Pos != e.Pos || pe.FaceID != e.FaceID {
+					t.Fatalf("workers=%d round %d target %s: %v/%v, want %v/%v",
+						workers, i, id, pe.Pos, pe.FaceID, e.Pos, e.FaceID)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiTrackerLocalizeGroupsParallelMatchesSerial(t *testing.T) {
+	cfg := defaultConfig(9)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+	const targets = 5
+
+	run := func(workers int) map[string]Estimate {
+		m, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var agg map[string]Estimate
+		for i := 0; i < 8; i++ {
+			batch := make([]TargetGroup, targets)
+			for g := range batch {
+				batch[g] = TargetGroup{
+					ID: fmt.Sprintf("g%d", g),
+					Group: s.Sample(geom.Pt(20+float64(g*14), 30+float64(i*4)),
+						cfg.SamplingTimes, randx.New(7).SplitN("grp", i*targets+g)),
+				}
+			}
+			agg, err = m.LocalizeGroups(batch, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return agg
+	}
+
+	serial := run(1)
+	for _, workers := range []int{3, 0} {
+		par := run(workers)
+		for id, e := range serial {
+			if pe := par[id]; pe.Pos != e.Pos {
+				t.Fatalf("workers=%d target %s: %v, want %v", workers, id, pe.Pos, e.Pos)
+			}
+		}
+	}
+}
+
+func TestMultiTrackerLocalizeAllEmptyIDError(t *testing.T) {
+	cfg := defaultConfig(9)
+	m, _ := NewMulti(cfg)
+	_, err := m.LocalizeAll([]TargetPosition{{ID: "", Pos: geom.Pt(50, 50)}}, randx.New(1), 1)
+	if err == nil {
+		t.Error("empty target ID in batch should fail")
+	}
+}
+
+func TestTrackParallelMatchesSerial(t *testing.T) {
+	// TrackParallel over one shared division must reproduce, for every
+	// worker count, exactly what per-trace clones produce serially with
+	// the same substreams.
+	cfg := defaultConfig(16)
+	const traces, steps = 5, 12
+
+	mkTraces := func() ([][]geom.Point, [][]float64) {
+		ps := make([][]geom.Point, traces)
+		ts := make([][]float64, traces)
+		for i := range ps {
+			ps[i] = make([]geom.Point, steps)
+			ts[i] = make([]float64, steps)
+			for j := range ps[i] {
+				ps[i][j] = geom.Pt(10+float64(i*15+j), 15+float64(i*10+j))
+				ts[i][j] = float64(j) * 0.5
+			}
+		}
+		return ps, ts
+	}
+	ps, tms := mkTraces()
+
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := randx.New(17)
+	want := make([][]TrackedPoint, traces)
+	for i := range ps {
+		clone, err := NewWithDivision(cfg, base.Division())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = clone.Track(ps[i], tms[i], root.SplitN("trace", i))
+	}
+
+	for _, workers := range []int{1, 2, 4, 0} {
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.TrackParallel(ps, tms, randx.New(17), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d trace %d: %d points, want %d", workers, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j].Estimate != want[i][j].Estimate {
+					t.Fatalf("workers=%d trace %d step %d: %v, want %v",
+						workers, i, j, got[i][j].Estimate, want[i][j].Estimate)
+				}
+			}
+		}
+	}
+
+	// times validation: outer length and per-trace length mismatches.
+	tr, _ := New(cfg)
+	if _, err := tr.TrackParallel(ps, tms[:traces-1], randx.New(1), 1); err == nil {
+		t.Error("outer times length mismatch should fail")
+	}
+	bad := make([][]float64, traces)
+	copy(bad, tms)
+	bad[2] = bad[2][:steps-1]
+	if _, err := tr.TrackParallel(ps, bad, randx.New(1), 1); err == nil {
+		t.Error("per-trace times length mismatch should fail")
+	}
+	if _, err := tr.TrackParallel(ps, nil, randx.New(1), 1); err != nil {
+		t.Errorf("nil times should be accepted: %v", err)
 	}
 }

@@ -29,10 +29,11 @@ func AdaptiveDivide(fieldRect geom.Rect, classifier PairClassifier, coarse, fine
 	if iratio < 1 || absf(ratio-float64(iratio)) > 1e-9 {
 		return nil, fmt.Errorf("field: coarse %v must be an integer multiple of fine %v", coarse, fine)
 	}
-	cols := int(fieldRect.Width()/fine + 0.5)
-	rows := int(fieldRect.Height()/fine + 0.5)
-	if cols < 1 || rows < 1 {
-		return nil, fmt.Errorf("field: fine cell %v too large for field", fine)
+	// Same ceiling grid semantics as Divide, so the bit-compatibility
+	// claim holds for non-dividing fine cell sizes too.
+	cols, rows, err := gridDims(fieldRect, fine)
+	if err != nil {
+		return nil, err
 	}
 
 	d := &Division{

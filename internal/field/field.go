@@ -12,7 +12,10 @@ package field
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"fttt/internal/geom"
 	"fttt/internal/vector"
@@ -49,13 +52,41 @@ func NewRatioClassifier(nodes []geom.Point, c float64) (*RatioClassifier, error)
 	return &RatioClassifier{Nodes: nodes, C: c}, nil
 }
 
+// DistanceClassifier is an optional PairClassifier extension for
+// classifiers whose pair decision depends only on the point's distances
+// to the two nodes. Divide uses it to precompute each cell's n node
+// distances once and classify all C(n,2) pairs from the cache — n
+// distance evaluations per cell instead of the 2·C(n,2) a naive
+// pair-by-pair classification performs.
+type DistanceClassifier interface {
+	PairClassifier
+	// AppendDistances appends the distance from p to every node, in node
+	// order, and returns the extended slice.
+	AppendDistances(dst []float64, p geom.Point) []float64
+	// ClassifyDistances classifies a pair (i, j), i < j, from the
+	// precomputed distances di and dj to the two nodes. It must agree
+	// exactly with Classify.
+	ClassifyDistances(di, dj float64) vector.Value
+}
+
 // NumNodes implements PairClassifier.
 func (rc *RatioClassifier) NumNodes() int { return len(rc.Nodes) }
 
 // Classify implements PairClassifier.
 func (rc *RatioClassifier) Classify(p geom.Point, i, j int) vector.Value {
-	di := p.Dist(rc.Nodes[i])
-	dj := p.Dist(rc.Nodes[j])
+	return rc.ClassifyDistances(p.Dist(rc.Nodes[i]), p.Dist(rc.Nodes[j]))
+}
+
+// AppendDistances implements DistanceClassifier.
+func (rc *RatioClassifier) AppendDistances(dst []float64, p geom.Point) []float64 {
+	for _, node := range rc.Nodes {
+		dst = append(dst, p.Dist(node))
+	}
+	return dst
+}
+
+// ClassifyDistances implements DistanceClassifier.
+func (rc *RatioClassifier) ClassifyDistances(di, dj float64) vector.Value {
 	switch {
 	case di*rc.C <= dj:
 		return vector.Nearer
@@ -68,8 +99,29 @@ func (rc *RatioClassifier) Classify(p geom.Point, i, j int) vector.Value {
 
 // Signature returns the full signature vector of point p (Def. 6).
 func Signature(c PairClassifier, p geom.Point) vector.Vector {
+	v := vector.New(c.NumNodes())
+	signatureInto(c, p, v, nil)
+	return v
+}
+
+// signatureInto fills v (dimension C(n,2)) with the signature of p. When
+// the classifier supports the distance fast path the n node distances are
+// computed once into distBuf; the possibly-grown buffer is returned for
+// reuse by the next cell.
+func signatureInto(c PairClassifier, p geom.Point, v vector.Vector, distBuf []float64) []float64 {
 	n := c.NumNodes()
-	v := vector.New(n)
+	if dc, ok := c.(DistanceClassifier); ok {
+		distBuf = dc.AppendDistances(distBuf[:0], p)
+		k := 0
+		for i := 0; i < n; i++ {
+			di := distBuf[i]
+			for j := i + 1; j < n; j++ {
+				v[k] = dc.ClassifyDistances(di, distBuf[j])
+				k++
+			}
+		}
+		return distBuf
+	}
 	k := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -77,7 +129,7 @@ func Signature(c PairClassifier, p geom.Point) vector.Vector {
 			k++
 		}
 	}
-	return v
+	return distBuf
 }
 
 // Face is one equivalence class of grid cells sharing a signature vector.
@@ -117,18 +169,53 @@ type Division struct {
 	bySig map[string]int
 }
 
+// dimEps guards the ceiling grid division against floating-point noise:
+// an extent/cellSize quotient within 1e-9 of an integer counts as exact.
+const dimEps = 1e-9
+
+// gridDims returns the cell counts per axis for the approximate grid
+// division: ⌈extent/cellSize⌉, so the grid always covers the whole field.
+// When cellSize does not divide an extent the last row/column of cells
+// overhangs the field's max edge (previously the count was rounded to
+// nearest, which could leave up to half a cell of the field uncovered).
+// A cell larger than either field extent is rejected.
+func gridDims(fieldRect geom.Rect, cellSize float64) (cols, rows int, err error) {
+	if cellSize <= 0 {
+		return 0, 0, fmt.Errorf("field: non-positive cell size %v", cellSize)
+	}
+	if cellSize > fieldRect.Width() || cellSize > fieldRect.Height() {
+		return 0, 0, fmt.Errorf("field: cell size %v too large for field %vx%v",
+			cellSize, fieldRect.Width(), fieldRect.Height())
+	}
+	cols = int(math.Ceil(fieldRect.Width()/cellSize - dimEps))
+	rows = int(math.Ceil(fieldRect.Height()/cellSize - dimEps))
+	return cols, rows, nil
+}
+
 // Divide performs the approximate grid division of Sec. 4.3 with square
 // cells of the given size. Cell centres follow Fig. 6(b): the bottom-left
-// cell centre is the origin corner plus half a cell.
+// cell centre is the origin corner plus half a cell; the grid has
+// ⌈extent/cellSize⌉ cells per axis, so for non-dividing cell sizes the
+// last row/column overhangs the field (the field is always fully
+// covered). The signature pass is fanned across runtime.NumCPU() workers;
+// the result is identical for every worker count (see DivideWorkers).
 func Divide(fieldRect geom.Rect, classifier PairClassifier, cellSize float64) (*Division, error) {
-	if cellSize <= 0 {
-		return nil, fmt.Errorf("field: non-positive cell size %v", cellSize)
-	}
-	cols := int(fieldRect.Width()/cellSize + 0.5)
-	rows := int(fieldRect.Height()/cellSize + 0.5)
-	if cols < 1 || rows < 1 {
-		return nil, fmt.Errorf("field: cell size %v too large for field %vx%v",
-			cellSize, fieldRect.Width(), fieldRect.Height())
+	return DivideWorkers(fieldRect, classifier, cellSize, runtime.NumCPU())
+}
+
+// DivideWorkers is Divide with an explicit worker count for the signature
+// pass (≤ 1 selects the serial path). The division is deterministic and
+// byte-identical for every worker count: face IDs follow the row-major
+// first-appearance order of the serial scan — row shards are merged in
+// shard order, and a shard's local first appearances are already in
+// row-major order, so the concatenation reproduces the global scan order
+// exactly — and centroids are accumulated in a separate serial row-major
+// pass so float summation order never depends on the sharding. The
+// classifier must be safe for concurrent reads (RatioClassifier is).
+func DivideWorkers(fieldRect geom.Rect, classifier PairClassifier, cellSize float64, workers int) (*Division, error) {
+	cols, rows, err := gridDims(fieldRect, cellSize)
+	if err != nil {
+		return nil, err
 	}
 
 	d := &Division{
@@ -142,23 +229,119 @@ func Divide(fieldRect geom.Rect, classifier PairClassifier, cellSize float64) (*
 
 	// Pass 1: signature per cell; group into faces.
 	var accums []*faceAccum
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		accums = d.signaturePassSerial(classifier)
+	} else {
+		accums = d.signaturePassParallel(classifier, workers)
+	}
+
+	// Pass 2: centroid accumulation, always serial and row-major so the
+	// floating-point summation order is independent of the worker count.
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
-			center := d.CellCenter(c, r)
-			sig := Signature(classifier, center)
-			key := sig.Key()
-			id, ok := d.bySig[key]
-			if !ok {
-				id = len(accums)
-				d.bySig[key] = id
-				accums = append(accums, &faceAccum{sig: sig})
-			}
-			accums[id].add(center)
-			d.cellFace[r*cols+c] = id
+			accums[d.cellFace[r*cols+c]].add(d.CellCenter(c, r))
 		}
 	}
 	d.finalizeFaces(accums)
 	return d, nil
+}
+
+// signaturePassSerial fills cellFace and bySig in one row-major scan,
+// reusing a scratch vector and distance buffer across cells (a signature
+// is only cloned when it starts a new face).
+func (d *Division) signaturePassSerial(classifier PairClassifier) []*faceAccum {
+	var accums []*faceAccum
+	scratch := vector.New(classifier.NumNodes())
+	var dists []float64
+	for r := 0; r < d.Rows; r++ {
+		for c := 0; c < d.Cols; c++ {
+			dists = signatureInto(classifier, d.CellCenter(c, r), scratch, dists)
+			key := scratch.Key()
+			id, ok := d.bySig[key]
+			if !ok {
+				id = len(accums)
+				d.bySig[key] = id
+				accums = append(accums, &faceAccum{sig: scratch.Clone()})
+			}
+			d.cellFace[r*d.Cols+c] = id
+		}
+	}
+	return accums
+}
+
+// divideShard is one worker's slice of the signature pass: a contiguous
+// band of rows plus the shard-local face table in first-appearance order.
+type divideShard struct {
+	startRow, endRow int
+	sigs             []vector.Vector
+	keys             []string
+}
+
+// signaturePassParallel shards the rows across workers. Each worker
+// classifies its band into shard-local face IDs (written into the
+// worker's disjoint region of cellFace); the shards are then merged in
+// order, assigning global IDs by first appearance and remapping the
+// raster.
+func (d *Division) signaturePassParallel(classifier PairClassifier, workers int) []*faceAccum {
+	shards := make([]divideShard, workers)
+	base, extra := d.Rows/workers, d.Rows%workers
+	row := 0
+	for s := range shards {
+		h := base
+		if s < extra {
+			h++
+		}
+		shards[s].startRow, shards[s].endRow = row, row+h
+		row += h
+	}
+
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(sh *divideShard) {
+			defer wg.Done()
+			local := make(map[string]int)
+			scratch := vector.New(classifier.NumNodes())
+			var dists []float64
+			for r := sh.startRow; r < sh.endRow; r++ {
+				for c := 0; c < d.Cols; c++ {
+					dists = signatureInto(classifier, d.CellCenter(c, r), scratch, dists)
+					key := scratch.Key()
+					id, ok := local[key]
+					if !ok {
+						id = len(sh.sigs)
+						local[key] = id
+						sh.sigs = append(sh.sigs, scratch.Clone())
+						sh.keys = append(sh.keys, key)
+					}
+					d.cellFace[r*d.Cols+c] = id // shard-local; remapped below
+				}
+			}
+		}(&shards[s])
+	}
+	wg.Wait()
+
+	var accums []*faceAccum
+	for s := range shards {
+		sh := &shards[s]
+		remap := make([]int, len(sh.sigs))
+		for li, key := range sh.keys {
+			gid, ok := d.bySig[key]
+			if !ok {
+				gid = len(accums)
+				d.bySig[key] = gid
+				accums = append(accums, &faceAccum{sig: sh.sigs[li]})
+			}
+			remap[li] = gid
+		}
+		for ci := sh.startRow * d.Cols; ci < sh.endRow*d.Cols; ci++ {
+			d.cellFace[ci] = remap[d.cellFace[ci]]
+		}
+	}
+	return accums
 }
 
 // faceAccum accumulates one face's cells during division.

@@ -354,3 +354,151 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// divisionsIdentical asserts every externally observable part of two
+// divisions matches byte for byte: grid dims, raster, face IDs,
+// signatures, centroids, cell counts, neighbors and per-link diffs.
+func divisionsIdentical(t *testing.T, want, got *Division) {
+	t.Helper()
+	if want.Cols != got.Cols || want.Rows != got.Rows {
+		t.Fatalf("grid %dx%d vs %dx%d", got.Cols, got.Rows, want.Cols, want.Rows)
+	}
+	if len(want.cellFace) != len(got.cellFace) {
+		t.Fatalf("raster length %d vs %d", len(got.cellFace), len(want.cellFace))
+	}
+	for i := range want.cellFace {
+		if want.cellFace[i] != got.cellFace[i] {
+			t.Fatalf("cell %d face %d vs %d", i, got.cellFace[i], want.cellFace[i])
+		}
+	}
+	if len(want.Faces) != len(got.Faces) {
+		t.Fatalf("%d faces vs %d", len(got.Faces), len(want.Faces))
+	}
+	for id := range want.Faces {
+		w, g := &want.Faces[id], &got.Faces[id]
+		if w.ID != g.ID || w.Cells != g.Cells {
+			t.Fatalf("face %d: ID/Cells %d/%d vs %d/%d", id, g.ID, g.Cells, w.ID, w.Cells)
+		}
+		if !vector.Equal(w.Signature, g.Signature) {
+			t.Fatalf("face %d signature differs", id)
+		}
+		if w.Centroid != g.Centroid { // exact float equality, not tolerance
+			t.Fatalf("face %d centroid %v vs %v", id, g.Centroid, w.Centroid)
+		}
+		if len(w.Neighbors) != len(g.Neighbors) {
+			t.Fatalf("face %d neighbor count %d vs %d", id, len(g.Neighbors), len(w.Neighbors))
+		}
+		for ni := range w.Neighbors {
+			if w.Neighbors[ni] != g.Neighbors[ni] {
+				t.Fatalf("face %d neighbor %d: %d vs %d", id, ni, g.Neighbors[ni], w.Neighbors[ni])
+			}
+			if len(w.NeighborDiffs[ni]) != len(g.NeighborDiffs[ni]) {
+				t.Fatalf("face %d diff %d length differs", id, ni)
+			}
+			for k := range w.NeighborDiffs[ni] {
+				if w.NeighborDiffs[ni][k] != g.NeighborDiffs[ni][k] {
+					t.Fatalf("face %d diff %d component differs", id, ni)
+				}
+			}
+		}
+	}
+}
+
+func TestDivideWorkersByteIdentical(t *testing.T) {
+	// The acceptance bar for the parallel signature pass: for every worker
+	// count the Division is byte-identical to the serial one — face IDs in
+	// row-major first-appearance order, identical raster, signatures,
+	// centroids (exact float equality) and neighbor links.
+	for _, n := range []int{4, 9, 16} {
+		rc := gridClassifier(t, n, defaultC())
+		serial, err := DivideWorkers(fieldRect, rc, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 7, 16, 1000} {
+			par, err := DivideWorkers(fieldRect, rc, 2, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			divisionsIdentical(t, serial, par)
+		}
+		// The default entry point (NumCPU workers) matches too.
+		def, err := Divide(fieldRect, rc, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		divisionsIdentical(t, serial, def)
+	}
+}
+
+func TestDivideCeilingGridForNonDividingCellSize(t *testing.T) {
+	rc := gridClassifier(t, 4, defaultC())
+	// 0.7 m cells on a 100 m field: ⌈142.857⌉ = 143 columns; the last
+	// column overhangs (143·0.7 = 100.1 m) but the field is covered.
+	div, err := Divide(fieldRect, rc, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.Cols != 143 || div.Rows != 143 {
+		t.Fatalf("grid %dx%d, want 143x143", div.Cols, div.Rows)
+	}
+	// 0.9 m cells: ⌈111.11⌉ = 112. The old round-to-nearest gave 111,
+	// leaving a 0.1 m strip of the field in no cell.
+	div, err = Divide(fieldRect, rc, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.Cols != 112 || div.Rows != 112 {
+		t.Fatalf("grid %dx%d, want 112x112", div.Cols, div.Rows)
+	}
+	if covered := float64(div.Cols) * 0.9; covered < fieldRect.Width() {
+		t.Fatalf("grid covers %.2f m of a %.0f m field", covered, fieldRect.Width())
+	}
+	// Exactly dividing sizes are untouched by the ceiling (no FP jitter).
+	for _, tc := range []struct {
+		cell float64
+		want int
+	}{{1, 100}, {2, 50}, {4, 25}, {0.5, 200}, {0.1, 1000}} {
+		div, err := Divide(fieldRect, rc, tc.cell)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if div.Cols != tc.want || div.Rows != tc.want {
+			t.Fatalf("cell %v: grid %dx%d, want %dx%d", tc.cell, div.Cols, div.Rows, tc.want, tc.want)
+		}
+	}
+	// A cell larger than the field is rejected outright.
+	if _, err := Divide(fieldRect, rc, 150); err == nil {
+		t.Error("cell size 150 on a 100 m field should be rejected")
+	}
+	// Every field point still lands in a cell and FaceAt stays in range.
+	div, _ = Divide(fieldRect, rc, 0.7)
+	rng := randx.New(7)
+	for i := 0; i < 500; i++ {
+		p := geom.Pt(rng.Uniform(0, 100), rng.Uniform(0, 100))
+		if f := div.FaceAt(p); f == nil {
+			t.Fatalf("no face at %v", p)
+		}
+	}
+}
+
+func TestSignatureDistanceFastPathMatchesClassify(t *testing.T) {
+	// RatioClassifier implements the DistanceClassifier fast path; the
+	// signature it yields must agree with pair-by-pair Classify exactly.
+	rc := gridClassifier(t, 9, defaultC())
+	n := rc.NumNodes()
+	rng := randx.New(8)
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Pt(rng.Uniform(-10, 110), rng.Uniform(-10, 110))
+		fast := Signature(rc, p)
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if want := rc.Classify(p, i, j); fast[k] != want {
+					t.Fatalf("pair (%d,%d) at %v: fast %v vs classify %v", i, j, p, fast[k], want)
+				}
+				k++
+			}
+		}
+	}
+}

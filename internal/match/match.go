@@ -7,10 +7,14 @@
 // face (the previous localization during continuous tracking), which the
 // paper shows drops the time complexity to O(n²). Both report search
 // statistics so the benches can reproduce the complexity comparison.
+//
+// Concurrency: a Division is immutable after construction and may be
+// shared freely. Exhaustive and WeightedTopM are stateless and safe for
+// concurrent use; Heuristic owns per-matcher search scratch and is
+// single-goroutine — give each goroutine (each Tracker) its own instance.
 package match
 
 import (
-	"container/heap"
 	"math"
 
 	"fttt/internal/field"
@@ -48,7 +52,8 @@ type Matcher interface {
 	Match(v vector.Vector, prev *field.Face) Result
 }
 
-// Exhaustive scans all faces of the division.
+// Exhaustive scans all faces of the division. It is stateless and safe
+// for concurrent use over a shared Division.
 type Exhaustive struct {
 	Div *field.Division
 }
@@ -81,6 +86,12 @@ func (m *Exhaustive) Match(v vector.Vector, _ *field.Face) Result {
 // expansions fail to improve on the best face seen. This keeps the local,
 // O(n²)-per-localization character of Algorithm 2 while tolerating
 // plateaus; Patience = 0 selects a default of 24.
+//
+// A Heuristic owns reusable search scratch (a visited-epoch slice and the
+// frontier heap), so Match performs no heap allocations after the first
+// call. That makes a Heuristic single-goroutine: give each goroutine its
+// own matcher (the Division it points at may be shared — matchers only
+// read it).
 type Heuristic struct {
 	Div *field.Division
 	// Patience is how many consecutive non-improving expansions the
@@ -99,9 +110,21 @@ type Heuristic struct {
 	// FallbackBelow is the similarity threshold that triggers the
 	// fallback; a face that matches at least this well is accepted.
 	FallbackBelow float64
+
+	// seen[id] == epoch marks face id as visited in the current Match;
+	// bumping epoch invalidates the whole slice in O(1), so the scratch
+	// never needs clearing between calls.
+	seen  []uint32
+	epoch uint32
+	// frontier is the reusable best-first heap storage.
+	frontier faceHeap
 }
 
-// faceHeap is a min-heap of (squared distance, faceID) entries.
+// faceHeap is a min-heap of (squared distance, faceID) entries ordered by
+// d2. Push/pop are open-coded (no container/heap) to avoid the interface
+// boxing allocation on every operation; the sift rules replicate
+// container/heap exactly (strict-less comparisons), so expansion order —
+// and therefore plateau tie-breaking — is unchanged.
 type faceHeap []faceEntry
 
 type faceEntry struct {
@@ -109,16 +132,43 @@ type faceEntry struct {
 	id int
 }
 
-func (h faceHeap) Len() int            { return len(h) }
-func (h faceHeap) Less(i, j int) bool  { return h[i].d2 < h[j].d2 }
-func (h faceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *faceHeap) Push(x interface{}) { *h = append(*h, x.(faceEntry)) }
-func (h *faceHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// push appends e and sifts it up.
+func (h faceHeap) push(e faceEntry) faceHeap {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].d2 <= h[i].d2 {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// pop removes and returns the minimum entry.
+func (h faceHeap) pop() (faceHeap, faceEntry) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		smallest := i
+		if l := 2*i + 1; l < len(h) && h[l].d2 < h[smallest].d2 {
+			smallest = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r].d2 < h[smallest].d2 {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return h, top
 }
 
 // dist2 is the squared modified distance of Def. 8 (stars contribute 0).
@@ -155,14 +205,29 @@ func (m *Heuristic) Match(v vector.Vector, prev *field.Face) Result {
 		patience = 24
 	}
 
-	seen := map[int]struct{}{start.ID: {}}
-	h := faceHeap{{d2: dist2(v, start.Signature), id: start.ID}}
+	if len(m.seen) != len(m.Div.Faces) {
+		m.seen = make([]uint32, len(m.Div.Faces))
+		m.epoch = 0
+	}
+	m.epoch++
+	if m.epoch == 0 { // epoch wrapped: clear the stale marks once
+		for i := range m.seen {
+			m.seen[i] = 0
+		}
+		m.epoch = 1
+	}
+	epoch := m.epoch
+	m.seen[start.ID] = epoch
+
+	h := m.frontier[:0]
+	h = h.push(faceEntry{d2: dist2(v, start.Signature), id: start.ID})
 	best := h[0]
 	visited := 1
 	rounds := 0
 	stall := 0
 	for len(h) > 0 && stall < patience {
-		e := heap.Pop(&h).(faceEntry)
+		var e faceEntry
+		h, e = h.pop()
 		rounds++
 		if e.d2 < best.d2 {
 			best = e
@@ -175,10 +240,10 @@ func (m *Heuristic) Match(v vector.Vector, prev *field.Face) Result {
 		}
 		face := &m.Div.Faces[e.id]
 		for ni, nb := range face.Neighbors {
-			if _, ok := seen[nb]; ok {
+			if m.seen[nb] == epoch {
 				continue
 			}
-			seen[nb] = struct{}{}
+			m.seen[nb] = epoch
 			visited++
 			var d2 float64
 			if m.Incremental && face.NeighborDiffs != nil {
@@ -194,9 +259,10 @@ func (m *Heuristic) Match(v vector.Vector, prev *field.Face) Result {
 			} else {
 				d2 = dist2(v, m.Div.Faces[nb].Signature)
 			}
-			heap.Push(&h, faceEntry{d2: d2, id: nb})
+			h = h.push(faceEntry{d2: d2, id: nb})
 		}
 	}
+	m.frontier = h[:0] // retain the grown backing array for the next call
 	curSim := math.Inf(1)
 	if best.d2 > 0 {
 		curSim = 1 / math.Sqrt(best.d2)
@@ -239,8 +305,18 @@ func (m *WeightedTopM) Match(v vector.Vector, _ *field.Face) Result {
 		id  int
 	}
 	top := make([]cand, 0, mm)
+	// Track how many faces share the maximum similarity, so Tied reports
+	// the true tie count like Exhaustive does.
+	best := math.Inf(-1)
+	ties := 0
 	for i := range m.Div.Faces {
 		s := vector.Similarity(v, m.Div.Faces[i].Signature)
+		switch {
+		case s > best:
+			best, ties = s, 1
+		case s == best:
+			ties++
+		}
 		if len(top) < mm {
 			top = append(top, cand{s, i})
 			for a := len(top) - 1; a > 0 && top[a].sim > top[a-1].sim; a-- {
@@ -256,7 +332,8 @@ func (m *WeightedTopM) Match(v vector.Vector, _ *field.Face) Result {
 			top[a], top[a-1] = top[a-1], top[a]
 		}
 	}
-	// Exact matches (+Inf similarity) dominate: average only those.
+	// Exact matches (+Inf similarity) dominate: average only those (at
+	// most M of them; Tied still reports the full tie count).
 	if math.IsInf(top[0].sim, 1) {
 		var pts []geom.Point
 		for _, c := range top {
@@ -268,7 +345,7 @@ func (m *WeightedTopM) Match(v vector.Vector, _ *field.Face) Result {
 			Face:       &m.Div.Faces[top[0].id],
 			Similarity: top[0].sim,
 			Estimate:   geom.Centroid(pts),
-			Tied:       len(pts),
+			Tied:       ties,
 			Visited:    len(m.Div.Faces),
 		}
 	}
@@ -287,7 +364,7 @@ func (m *WeightedTopM) Match(v vector.Vector, _ *field.Face) Result {
 		Face:       &m.Div.Faces[top[0].id],
 		Similarity: top[0].sim,
 		Estimate:   est,
-		Tied:       1,
+		Tied:       ties,
 		Visited:    len(m.Div.Faces),
 	}
 }

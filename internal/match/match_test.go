@@ -1,7 +1,9 @@
 package match
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"fttt/internal/deploy"
@@ -16,6 +18,12 @@ var fieldRect = geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
 
 func buildDivision(t testing.TB, n int, cell float64) *field.Division {
 	t.Helper()
+	div, _ := buildDivisionClassifier(t, n, cell)
+	return div
+}
+
+func buildDivisionClassifier(t testing.TB, n int, cell float64) (*field.Division, *field.RatioClassifier) {
+	t.Helper()
 	d := deploy.Grid(fieldRect, n)
 	c := rf.Default().UncertaintyC(1)
 	rc, err := field.NewRatioClassifier(d.Positions(), c)
@@ -26,7 +34,7 @@ func buildDivision(t testing.TB, n int, cell float64) *field.Division {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return div
+	return div, rc
 }
 
 func TestExhaustiveFindsExactSignature(t *testing.T) {
@@ -378,4 +386,118 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestWeightedTopMTieCountMatchesExhaustive(t *testing.T) {
+	// WeightedTopM used to hardcode Tied: 1; it must report the true
+	// number of maximum-similarity faces, exactly like Exhaustive.
+	div, rc := buildDivisionClassifier(t, 9, 2)
+	ex := &Exhaustive{Div: div}
+	w := &WeightedTopM{Div: div, M: 3}
+	rng := randx.New(11)
+	sawTie := false
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Pt(rng.Uniform(-5, 105), rng.Uniform(-5, 105))
+		v := field.Signature(rc, fieldRect.Clamp(p))
+		// Perturb some components to provoke inexact, tie-prone probes.
+		if trial%2 == 0 {
+			for k := 0; k < len(v); k += 7 {
+				v[k] = vector.Flipped
+			}
+		}
+		want := ex.Match(v, nil).Tied
+		got := w.Match(v, nil).Tied
+		if got != want {
+			t.Fatalf("trial %d: WeightedTopM Tied = %d, Exhaustive Tied = %d", trial, got, want)
+		}
+		if want > 1 {
+			sawTie = true
+		}
+	}
+	if !sawTie {
+		t.Error("no trial produced a tie; test exercises nothing")
+	}
+}
+
+func TestHeuristicScratchReuseDeterministic(t *testing.T) {
+	// A matcher reused across many calls (epoch-stamped visited slice,
+	// recycled frontier heap) must return exactly what a fresh matcher
+	// returns on every call.
+	div, rc := buildDivisionClassifier(t, 9, 2)
+	reused := &Heuristic{Div: div}
+	rng := randx.New(12)
+	var prev *field.Face
+	for trial := 0; trial < 300; trial++ {
+		p := geom.Pt(rng.Uniform(2, 98), rng.Uniform(2, 98))
+		v := field.Signature(rc, p)
+		if trial%5 == 0 {
+			prev = nil // exercise cold starts amid warm ones
+		}
+		fresh := &Heuristic{Div: div}
+		a := reused.Match(v, prev)
+		b := fresh.Match(v, prev)
+		if a.Face.ID != b.Face.ID || a.Similarity != b.Similarity ||
+			a.Estimate != b.Estimate || a.Tied != b.Tied ||
+			a.Visited != b.Visited || a.Rounds != b.Rounds {
+			t.Fatalf("trial %d: reused %+v vs fresh %+v", trial, a, b)
+		}
+		prev = a.Face
+	}
+}
+
+func TestHeuristicPerGoroutineOverSharedDivision(t *testing.T) {
+	// The documented concurrency model: one Heuristic per goroutine, all
+	// sharing one immutable Division. Run under -race; also check each
+	// goroutine's results equal the serial reference.
+	div, rc := buildDivisionClassifier(t, 9, 2)
+	const goroutines, probes = 8, 60
+
+	type probe struct {
+		v    vector.Vector
+		prev *field.Face
+	}
+	mkProbes := func(seed uint64) []probe {
+		rng := randx.New(seed)
+		ps := make([]probe, probes)
+		for i := range ps {
+			p := geom.Pt(rng.Uniform(2, 98), rng.Uniform(2, 98))
+			ps[i].v = field.Signature(rc, p)
+			if i%3 != 0 {
+				ps[i].prev = div.FaceAt(p)
+			}
+		}
+		return ps
+	}
+	serial := func(ps []probe) []Result {
+		h := &Heuristic{Div: div}
+		out := make([]Result, len(ps))
+		for i, pr := range ps {
+			out[i] = h.Match(pr.v, pr.prev)
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ps := mkProbes(uint64(100 + g))
+			want := serial(ps)
+			h := &Heuristic{Div: div}
+			for i, pr := range ps {
+				got := h.Match(pr.v, pr.prev)
+				if got.Face.ID != want[i].Face.ID || got.Estimate != want[i].Estimate {
+					errs <- fmt.Errorf("goroutine %d probe %d: %+v vs %+v", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
 }

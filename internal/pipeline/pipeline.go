@@ -102,9 +102,19 @@ func New(cfg Config) (*Service, error) {
 // Update per localization round, scheduled on the network's virtual
 // clock. It is deterministic given rng.
 func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream) []Update {
-	engine := s.cfg.Net.Engine()
 	rounds := int(duration/s.cfg.Period) + 1
 	updates := make([]Update, 0, rounds)
+	s.RunFunc(target, duration, rng, func(u Update) { updates = append(updates, u) })
+	return updates
+}
+
+// RunFunc tracks the target for duration virtual seconds, invoking fn
+// with each Update as soon as its localization round completes — before
+// the next round is scheduled, so a blocking fn holds the virtual clock
+// still. Run and Stream are built on it. It is deterministic given rng.
+func (s *Service) RunFunc(target mobility.Model, duration float64, rng *randx.Stream, fn func(Update)) {
+	engine := s.cfg.Net.Engine()
+	rounds := int(duration/s.cfg.Period) + 1
 
 	var round func(i int)
 	round = func(i int) {
@@ -131,12 +141,12 @@ func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream
 		final := raw
 		if s.cfg.Smoother != nil {
 			dt := s.cfg.Period
-			if len(updates) == 0 {
+			if i == 0 {
 				dt = 0
 			}
 			final = s.cfg.Smoother.Update(raw, dt)
 		}
-		updates = append(updates, Update{
+		fn(Update{
 			T:     t,
 			True:  truth,
 			Raw:   raw,
@@ -164,20 +174,18 @@ func (s *Service) Run(target mobility.Model, duration float64, rng *randx.Stream
 	}
 	engine.Schedule(engine.Now(), func() { round(0) })
 	engine.Run()
-	return updates
 }
 
 // Stream runs the pipeline in a goroutine and delivers Updates on the
-// returned channel, which is closed when the run completes. The channel
-// is unbuffered: the pipeline advances at the consumer's pace (virtual
-// time, not wall time).
+// returned channel, which is closed when the run completes. Each Update
+// is sent from inside its localization round (RunFunc), so the channel —
+// unbuffered — makes the pipeline advance at the consumer's pace: the
+// virtual clock does not move past a round until its Update is received.
 func (s *Service) Stream(target mobility.Model, duration float64, rng *randx.Stream) <-chan Update {
 	ch := make(chan Update)
 	go func() {
 		defer close(ch)
-		for _, u := range s.Run(target, duration, rng) {
-			ch <- u
-		}
+		s.RunFunc(target, duration, rng, func(u Update) { ch <- u })
 	}()
 	return ch
 }

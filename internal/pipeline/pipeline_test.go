@@ -9,6 +9,7 @@ import (
 	"fttt/internal/filter"
 	"fttt/internal/geom"
 	"fttt/internal/mobility"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/wsnnet"
@@ -154,5 +155,62 @@ func TestStreamDeliversAndCloses(t *testing.T) {
 func TestMeanErrorEmpty(t *testing.T) {
 	if MeanError(nil) != 0 {
 		t.Error("MeanError(nil) should be 0")
+	}
+}
+
+func TestStreamDeliversDuringRun(t *testing.T) {
+	// Stream must deliver each Update from inside its localization round,
+	// not batch them after the run: when the consumer receives the first
+	// Update, almost all round spans are still unclosed. (The old
+	// implementation collected every Update first and replayed them, so
+	// all spans were closed before the first receive.)
+	svc := buildService(t, nil, 0)
+	tracer := &obs.CountingTracer{}
+	svc.cfg.Tracer = tracer
+	mob := mobility.RandomWaypoint(fieldRect, 1, 5, 10, randx.New(1))
+
+	const wantRounds = 21 // duration 10 / period 0.5 + 1
+	ch := svc.Stream(mob, 10, randx.New(2))
+	first, ok := <-ch
+	if !ok {
+		t.Fatal("stream closed without updates")
+	}
+	if first.T != 0 {
+		t.Errorf("first update at t=%v, want 0", first.T)
+	}
+	// Round 0's span closes only after this receive; the producer may
+	// have closed it (and at most started round 1) by now, but the bulk
+	// of the run must still be ahead of us.
+	if closed := tracer.Spans("pipeline", "round"); closed >= wantRounds {
+		t.Fatalf("all %d round spans closed at first update: stream is batching, not streaming", closed)
+	}
+	got := 1
+	for range ch {
+		got++
+	}
+	if got != wantRounds {
+		t.Errorf("received %d updates, want %d", got, wantRounds)
+	}
+	if closed := tracer.Spans("pipeline", "round"); closed != wantRounds {
+		t.Errorf("%d spans closed after drain, want %d", closed, wantRounds)
+	}
+}
+
+func TestStreamMatchesRun(t *testing.T) {
+	// The streaming path is the same computation as Run: identical
+	// updates, in order, for the same seed.
+	mob := mobility.RandomWaypoint(fieldRect, 1, 5, 6, randx.New(3))
+	want := buildService(t, nil, 0).Run(mob, 6, randx.New(4))
+	var got []Update
+	for u := range buildService(t, nil, 0).Stream(mob, 6, randx.New(4)) {
+		got = append(got, u)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream yielded %d updates, run %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("update %d differs: stream %+v vs run %+v", i, got[i], want[i])
+		}
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package fttt_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gates in alloc_test.go skip under it (instrumentation adds
+// allocations that are not the code's own).
+const raceEnabled = true
