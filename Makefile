@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test race vet allocgate check bench tools clean
+.PHONY: build test race vet allocgate fuzz check bench tools clean
 
 build:
 	$(GO) build ./...
@@ -20,8 +21,16 @@ vet:
 allocgate:
 	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget' -count 1 -v .
 
+# fuzz runs every native fuzz target for FUZZTIME each (one -fuzz
+# invocation per target: go test allows a single fuzz target per run).
+fuzz:
+	$(GO) test -fuzz FuzzVectorDiff -fuzztime $(FUZZTIME) ./internal/vector/
+	$(GO) test -fuzz FuzzSimilarity -fuzztime $(FUZZTIME) ./internal/vector/
+	$(GO) test -fuzz FuzzGroupVector -fuzztime $(FUZZTIME) ./internal/sampling/
+	$(GO) test -fuzz FuzzHeuristicMatch -fuzztime $(FUZZTIME) ./internal/match/
+
 # check is the full local gate: what CI runs.
-check: vet build race allocgate
+check: vet build race allocgate fuzz
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

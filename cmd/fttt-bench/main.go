@@ -26,11 +26,11 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "reduced-scale smoke run")
-		trials = flag.Int("trials", 0, "override trials per sweep point")
-		dur    = flag.Float64("duration", 0, "override tracking duration (s)")
-		seed   = flag.Uint64("seed", 1, "root random seed")
-		only   = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility)")
+		quick     = flag.Bool("quick", false, "reduced-scale smoke run")
+		trials    = flag.Int("trials", 0, "override trials per sweep point")
+		dur       = flag.Float64("duration", 0, "override tracking duration (s)")
+		seed      = flag.Uint64("seed", 1, "root random seed")
+		only      = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility,faulttol)")
 		csvDir    = flag.String("csv", "", "directory to write CSV series into")
 		svgDir    = flag.String("svg", "", "directory to render Fig. 10/13 track SVGs into")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
@@ -107,6 +107,7 @@ func main() {
 		{"coverage", r.coverage},
 		{"mac", r.mac},
 		{"mobility", r.mobility},
+		{"faulttol", r.faultTolerance},
 	}
 	for _, e := range experimentsList {
 		if !sel(e.name) {
@@ -672,6 +673,28 @@ func (r *runner) mobility() {
 		fmt.Fprintf(&b, "%s,%.3f,%.3f\n", row.Model, row.FTTTMean, row.PMMean)
 	}
 	r.writeFile("mobility_robustness.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) faultTolerance() {
+	rows, err := experiments.FaultTolerance(r.p, 25, []float64{0, 0.1, 0.2, 0.3})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== DESIGN.md §9: fault tolerance, crash fraction vs tracking error ==")
+	fmt.Printf("  %-8s%12s%12s%12s%12s%12s%14s\n",
+		"crash", "mean-err", "p90-err", "delivered", "degraded", "retried", "extrapolated")
+	var b strings.Builder
+	b.WriteString("crash_frac,mean,p90,delivered_frac,degraded_frac,retried_frac,extrapolated_frac\n")
+	for _, row := range rows {
+		fmt.Printf("  %-8.0f%12.2f%12.2f%11.1f%%%11.1f%%%11.1f%%%13.1f%%\n",
+			100*row.CrashFrac, row.MeanErr, row.P90Err, 100*row.DeliveredFrac,
+			100*row.DegradedFrac, 100*row.RetriedFrac, 100*row.ExtrapolatedFrac)
+		fmt.Fprintf(&b, "%.2f,%.3f,%.3f,%.4f,%.4f,%.4f,%.4f\n",
+			row.CrashFrac, row.MeanErr, row.P90Err, row.DeliveredFrac,
+			row.DegradedFrac, row.RetriedFrac, row.ExtrapolatedFrac)
+	}
+	r.writeFile("fault_tolerance.csv", b.String())
 	fmt.Println()
 }
 

@@ -28,6 +28,7 @@ import (
 	"fttt/internal/baseline"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
+	"fttt/internal/faults"
 	"fttt/internal/geom"
 	"fttt/internal/mobility"
 	"fttt/internal/obs"
@@ -54,6 +55,8 @@ type simConfig struct {
 	net                        bool
 	commRange, hopLoss, hopDel float64
 	targets, parallel          int
+	script                     *faults.Script
+	starFrac, retryBackoff     float64
 	obs                        *obs.Registry
 }
 
@@ -91,6 +94,9 @@ func main() {
 		hopDelay  = flag.Float64("hopdelay", 0.002, "per-hop delay (s, -net mode)")
 		targets   = flag.Int("targets", 1, "number of concurrent targets (sampler mode, fttt strategies)")
 		parallel  = flag.Int("parallel", 0, "multi-target localization workers (0 = all CPUs, 1 = serial; with -targets > 1)")
+		faultSpec = flag.String("faults", "", "fault scenario: a script file path (or @path), or inline directives like 'crash at=20 frac=0.3; burst loss=0.9' (fttt strategies)")
+		starFrac  = flag.Float64("starfrac", 0, "star-fraction degradation threshold arming retry + extrapolation (0 = off)")
+		backoff   = flag.Float64("retrybackoff", -1, "virtual-time backoff before a degraded round's re-collection (s); -1 = period/5")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
@@ -109,6 +115,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof/)\n", srv.Addr())
 	}
 
+	var script *faults.Script
+	if *faultSpec != "" {
+		var err error
+		script, err = faults.Load(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if *backoff < 0 {
+		*backoff = *locPeriod / 5
+	}
+
 	cfg := simConfig{
 		n: *n, layout: *layout, k: *k,
 		eps: *eps, sigma: *sigma, beta: *beta,
@@ -120,6 +139,7 @@ func main() {
 		report:   *trials == 1,
 		net:      *netMode, commRange: *commRange, hopLoss: *hopLoss, hopDel: *hopDelay,
 		targets: *targets, parallel: *parallel,
+		script: script, starFrac: *starFrac, retryBackoff: *backoff,
 		obs: reg,
 	}
 
@@ -169,6 +189,11 @@ func printSummary(reg *obs.Registry, netMode bool, rounds, heard, delivered int,
 		locHist = reg.Histogram("fttt_core_localize_seconds", nil)
 	}
 	fmt.Printf("  %-22s %.3f ms\n", "p95 localize (wall)", locHist.Quantile(0.95)*1e3)
+	if deg := reg.Counter("fttt_core_degraded_total").Value(); deg > 0 {
+		fmt.Printf("  %-22s %.0f (retried %.0f, extrapolated %.0f)\n", "degraded rounds", deg,
+			reg.Counter("fttt_core_retries_total").Value(),
+			reg.Counter("fttt_core_extrapolated_total").Value())
+	}
 	if netMode {
 		netP95 := reg.Histogram("fttt_net_delivery_latency_seconds", nil).Quantile(0.95)
 		fmt.Printf("  %-22s %.1f ms\n", "p95 delivery (virtual)", netP95*1e3)
@@ -205,6 +230,9 @@ func run(c simConfig) (simResult, error) {
 		}
 		if c.strategy != "fttt" && c.strategy != "fttt-ext" {
 			return simResult{}, fmt.Errorf("-targets supports the fttt strategies, not %q", c.strategy)
+		}
+		if c.script != nil {
+			return simResult{}, fmt.Errorf("-faults is not supported with -targets > 1")
 		}
 		return runMulti(c, field, dep, model, root)
 	}
@@ -304,7 +332,7 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 	default:
 		return simResult{}, fmt.Errorf("-net supports the fttt strategies, not %q", c.strategy)
 	}
-	net, err := wsnnet.New(wsnnet.Config{
+	netCfg := wsnnet.Config{
 		Nodes:        dep.Positions(),
 		BaseStation:  geom.Pt(field.Center().X, field.Min.Y-5),
 		Model:        model,
@@ -315,20 +343,27 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 		ReportBits:   256,
 		Epsilon:      c.eps,
 		Obs:          c.obs,
-	})
+	}
+	if c.script != nil {
+		// The scheduler rides the network's virtual clock: every
+		// collection round's BeginRound seeks it to engine.Now().
+		netCfg.Faults = faults.New(*c.script, c.n, c.seed)
+	}
+	net, err := wsnnet.New(netCfg)
 	if err != nil {
 		return simResult{}, err
 	}
 	tr, err := core.New(core.Config{
 		Field: field, Nodes: dep.Positions(), Model: model,
 		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
-		Variant: variant, Obs: c.obs,
+		Variant: variant, StarFractionLimit: c.starFrac, Obs: c.obs,
 	})
 	if err != nil {
 		return simResult{}, err
 	}
 	svc, err := pipeline.New(pipeline.Config{
-		Net: net, Tracker: tr, Period: c.locPeriod, K: c.k, Obs: c.obs,
+		Net: net, Tracker: tr, Period: c.locPeriod, K: c.k,
+		RetryBackoff: c.retryBackoff, Obs: c.obs,
 	})
 	if err != nil {
 		return simResult{}, err
@@ -368,11 +403,22 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 		Model: model, Nodes: dep.Positions(),
 		Range: c.rng, ReportLoss: c.loss, Epsilon: c.eps,
 	}
+	var sched *faults.Scheduler
+	if c.script != nil {
+		sched = faults.New(*c.script, c.n, c.seed)
+		sampler.Faults = sched
+	}
 
+	// Groups are drawn lazily inside the round loop so the fault clock
+	// tracks each round's time; each draw uses an independent "loc"
+	// substream, so the draws match the eager pre-draw exactly.
 	groups := make([]*sampling.Group, len(tps))
 	g := root.Split("groups")
-	for i, tp := range tps {
-		groups[i] = sampler.Sample(tp.Pos, c.k, g.SplitN("loc", i))
+	sample := func(i int) *sampling.Group {
+		if sched != nil {
+			sched.Seek(tps[i].T)
+		}
+		return sampler.Sample(tps[i].Pos, c.k, g.SplitN("loc", i))
 	}
 
 	var estimate func(i int) geom.Point
@@ -381,7 +427,7 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 		cfg := core.Config{
 			Field: field, Nodes: dep.Positions(), Model: model,
 			Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
-			Obs: c.obs,
+			StarFractionLimit: c.starFrac, Obs: c.obs,
 		}
 		if c.strategy == "fttt-ext" {
 			cfg.Variant = core.Extended
@@ -394,7 +440,18 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 			fmt.Printf("division: %d faces, %d links, C=%.4f\n",
 				tr.Division().NumFaces(), tr.Division().NeighborLinkCount(), cfg.UncertaintyC())
 		}
-		estimate = func(i int) geom.Point { return tr.LocalizeGroup(groups[i]).Pos }
+		estimate = func(i int) geom.Point {
+			var recollect func() *sampling.Group
+			if c.starFrac > 0 {
+				recollect = func() *sampling.Group {
+					if sched != nil && c.retryBackoff > 0 {
+						sched.Seek(tps[i].T + c.retryBackoff)
+					}
+					return sampler.Sample(tps[i].Pos, c.k, g.SplitN("loc", i).Split("retry"))
+				}
+			}
+			return tr.LocalizeGroupRetry(groups[i], recollect).Pos
+		}
 	case "pm":
 		pm, err := baseline.NewPM(field, dep.Positions(), c.cell,
 			baseline.PMConfig{MaxVelocity: c.vmax, Period: c.locPeriod})
@@ -416,6 +473,7 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 	res.errs = make([]float64, len(tps))
 	lat := c.obs.Histogram("fttt_sim_localize_seconds", obs.ExpBuckets(1e-5, 2, 16))
 	for i := range tps {
+		groups[i] = sample(i)
 		start := time.Now()
 		est := estimate(i)
 		lat.Observe(time.Since(start).Seconds())

@@ -28,14 +28,14 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 20, "number of sensor nodes")
-		layout   = flag.String("deploy", "random", "deployment: random | grid | cross")
-		k        = flag.Int("k", 5, "grouping sampling times")
-		eps      = flag.Float64("eps", 1, "sensing resolution ε (dBm)")
-		size     = flag.Float64("field", 100, "square field edge (m)")
-		cell     = flag.Float64("cell", 1, "grid division cell size (m)")
-		variant  = flag.String("variant", "basic", "sampling vectors: basic | ext")
-		seed     = flag.Uint64("seed", 1, "root random seed")
+		n         = flag.Int("n", 20, "number of sensor nodes")
+		layout    = flag.String("deploy", "random", "deployment: random | grid | cross")
+		k         = flag.Int("k", 5, "grouping sampling times")
+		eps       = flag.Float64("eps", 1, "sensing resolution ε (dBm)")
+		size      = flag.Float64("field", 100, "square field edge (m)")
+		cell      = flag.Float64("cell", 1, "grid division cell size (m)")
+		variant   = flag.String("variant", "basic", "sampling vectors: basic | ext")
+		seed      = flag.Uint64("seed", 1, "root random seed")
 		inPath    = flag.String("in", "", "input trace CSV (default: 't x y' lines on stdin)")
 		velocity  = flag.Bool("velocity", false, "append velocity estimates to stderr summary")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")

@@ -1,0 +1,144 @@
+package fttt_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fttt"
+	"fttt/internal/faults"
+)
+
+// -update-golden regenerates the fixtures under results/golden/ from
+// the current code. Run it only when a behavioural change is intended;
+// the diff of the fixture files then documents exactly what moved.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the results/golden trace fixtures")
+
+const goldenDir = "results/golden"
+
+// goldenEps bounds the per-coordinate replay deviation. The scenarios
+// are fully deterministic, so the only slack needed is the fixture's
+// own decimal rounding (%.6f).
+const goldenEps = 1e-5
+
+// goldenTrace runs one of the pinned end-to-end scenarios. The faulted
+// variant layers the full fault repertoire — mid-run partial crash with
+// recovery, burst channel, calibration drift, clock skew — on the same
+// deployment and trace, with the degradation policy armed.
+func goldenTrace(t *testing.T, faulted bool) []fttt.TrackedPoint {
+	t.Helper()
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+	if faulted {
+		script, err := faults.Parse(`
+			crash at=6 frac=0.25 recover=14
+			crash at=8 frac=0.9 recover=10   # brief near-blackout: trips the degradation policy
+			burst pgb=0.05 pbg=0.5 loss=0.9
+			drift sigma=0.05
+			skew max=0.01 slew=10
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FaultScript = script
+		cfg.FaultSeed = 99
+		cfg.StarFractionLimit = 0.6
+		cfg.RetryBackoff = 0.1
+	}
+	mob := fttt.Waypoints([]fttt.Point{fttt.Pt(20, 20), fttt.Pt(80, 60)}, 3)
+	trace, times := fttt.SampleTrace(mob, 20, 2)
+	tracked, err := fttt.Track(cfg, trace, times, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracked
+}
+
+func goldenCSV(pts []fttt.TrackedPoint) string {
+	var b strings.Builder
+	b.WriteString("t,true_x,true_y,est_x,est_y,err,degraded,retried,extrapolated\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			p.T, p.True.X, p.True.Y, p.Estimate.Pos.X, p.Estimate.Pos.Y, p.Error,
+			b2i(p.Estimate.Degraded), b2i(p.Estimate.Retried), b2i(p.Estimate.Extrapolated))
+	}
+	return b.String()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// replayGolden re-runs the scenario and compares every field of every
+// tracked point against the committed fixture within goldenEps.
+func replayGolden(t *testing.T, name string, faulted bool) {
+	path := filepath.Join(goldenDir, name)
+	got := goldenCSV(goldenTrace(t, faulted))
+
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture %s (generate with: go test -run GoldenTrace -update-golden): %v", path, err)
+	}
+	wantLines := strings.Split(strings.TrimSpace(string(want)), "\n")
+	gotLines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("replay has %d lines, fixture has %d", len(gotLines), len(wantLines))
+	}
+	for li := 1; li < len(wantLines); li++ { // skip header
+		wf := strings.Split(wantLines[li], ",")
+		gf := strings.Split(gotLines[li], ",")
+		if len(wf) != len(gf) {
+			t.Fatalf("line %d: %d fields vs %d in fixture", li, len(gf), len(wf))
+		}
+		for ci := range wf {
+			w, err1 := strconv.ParseFloat(wf[ci], 64)
+			g, err2 := strconv.ParseFloat(gf[ci], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("line %d col %d: unparseable %q / %q", li, ci, wf[ci], gf[ci])
+			}
+			if math.Abs(w-g) > goldenEps {
+				t.Errorf("line %d col %d: replay %v, fixture %v (Δ=%g > %g)\n"+
+					"(a deliberate behavioural change? regenerate with -update-golden)",
+					li, ci, g, w, math.Abs(w-g), goldenEps)
+				return
+			}
+		}
+	}
+}
+
+// TestGoldenTraceBaseline replays the fault-free pinned scenario
+// against results/golden/track_baseline.csv: any change to RNG
+// splitting, sampling, division or matching shows up as a point-wise
+// diff, not just a shifted mean.
+func TestGoldenTraceBaseline(t *testing.T) {
+	replayGolden(t, "track_baseline.csv", false)
+}
+
+// TestGoldenTraceFaulted replays the fault-injected pinned scenario
+// (crash+recover, burst channel, drift, skew, degradation policy armed)
+// against results/golden/track_faulted.csv — the fault scheduler's draw
+// sequences are part of the pinned behaviour.
+func TestGoldenTraceFaulted(t *testing.T) {
+	replayGolden(t, "track_faulted.csv", true)
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"fttt/internal/faults"
 	"fttt/internal/field"
 	"fttt/internal/geom"
 	"fttt/internal/match"
@@ -93,6 +94,29 @@ type Config struct {
 	// the estimator ablation of DESIGN.md §5. It implies an exhaustive
 	// scan per localization.
 	TopM int
+	// StarFractionLimit, when positive, arms the degradation policy of
+	// DESIGN.md §9: a localization whose sampling vector carries more
+	// than this fraction of Star pairs (both nodes silent — the weakest
+	// information state of eq. 6) is declared degraded. The tracker then
+	// performs one bounded re-collection retry when the caller provides
+	// one (LocalizeGroupRetry, or automatically on the sampler path) and,
+	// if still degraded, falls back to last-estimate + mobility
+	// extrapolation instead of trusting a star-dominated match. 0
+	// disables the policy (the paper's always-trust behavior).
+	StarFractionLimit float64
+	// RetryBackoff is the virtual-time pause before a degraded round's
+	// re-collection (seconds); it gives transient faults (burst channels,
+	// rebooting motes) a chance to clear. Only meaningful with
+	// StarFractionLimit > 0.
+	RetryBackoff float64
+	// FaultScript, when non-nil, attaches a deterministic fault scheduler
+	// (internal/faults) to the tracker's sampler: every tracker clone —
+	// including the per-trace clones TrackParallel builds — constructs a
+	// fresh scheduler from (script, len(Nodes), FaultSeed), so faulted
+	// runs stay byte-identical across worker counts.
+	FaultScript *faults.Script
+	// FaultSeed roots the fault scheduler's random choices.
+	FaultSeed uint64
 	// Obs, when non-nil, receives the tracker's metrics (localizations,
 	// faces visited, fallbacks, flip/star/missing-report counts, localize
 	// latency — DESIGN.md §"Telemetry"). Nil disables all bookkeeping.
@@ -142,6 +166,12 @@ type Tracker struct {
 	matcher match.Matcher
 	sampler *sampling.Sampler
 	prev    *field.Face
+	faults  *faults.Scheduler
+	// lastPos/prevPos/histN hold the estimate history the degradation
+	// fallback extrapolates from (DESIGN.md §9).
+	lastPos geom.Point
+	prevPos geom.Point
+	histN   int
 	metrics *trackerMetrics
 	tracer  obs.Tracer
 }
@@ -156,6 +186,9 @@ type trackerMetrics struct {
 	flipped       *obs.Counter
 	stars         *obs.Counter
 	missing       *obs.Counter
+	degraded      *obs.Counter
+	retries       *obs.Counter
+	extrapolated  *obs.Counter
 	latency       *obs.Histogram
 }
 
@@ -167,6 +200,9 @@ func newTrackerMetrics(r *obs.Registry) *trackerMetrics {
 		flipped:       r.Counter("fttt_core_flipped_pairs_total"),
 		stars:         r.Counter("fttt_core_star_pairs_total"),
 		missing:       r.Counter("fttt_core_missing_reports_total"),
+		degraded:      r.Counter("fttt_core_degraded_total"),
+		retries:       r.Counter("fttt_core_retries_total"),
+		extrapolated:  r.Counter("fttt_core_extrapolated_total"),
 		latency:       r.Histogram("fttt_core_localize_seconds", obs.ExpBuckets(1e-5, 2, 16)),
 	}
 }
@@ -228,11 +264,20 @@ func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 		},
 		tracer: cfg.Tracer,
 	}
+	if cfg.FaultScript != nil {
+		t.faults = faults.New(*cfg.FaultScript, len(cfg.Nodes), cfg.FaultSeed)
+		t.sampler.Faults = t.faults
+	}
 	if cfg.Obs != nil {
 		t.metrics = newTrackerMetrics(cfg.Obs)
 	}
 	return t, nil
 }
+
+// FaultScheduler exposes the tracker's fault scheduler (nil when no
+// FaultScript is configured); callers driving Localize directly can
+// Seek it to their own virtual time.
+func (t *Tracker) FaultScheduler() *faults.Scheduler { return t.faults }
 
 // Division exposes the preprocessed field division (read-only).
 func (t *Tracker) Division() *field.Division { return t.div }
@@ -240,8 +285,12 @@ func (t *Tracker) Division() *field.Division { return t.div }
 // Config returns the tracker's configuration.
 func (t *Tracker) Config() Config { return t.cfg }
 
-// Reset forgets the previous face so the next localization cold-starts.
-func (t *Tracker) Reset() { t.prev = nil }
+// Reset forgets the previous face and the estimate history so the next
+// localization cold-starts.
+func (t *Tracker) Reset() {
+	t.prev = nil
+	t.histN = 0
+}
 
 // Estimate is the outcome of one localization.
 type Estimate struct {
@@ -265,9 +314,28 @@ type Estimate struct {
 	// FellBack reports that the heuristic matcher rescanned exhaustively
 	// (only possible with Config.FallbackBelow > 0).
 	FellBack bool
+	// Degraded reports that the final sampling vector's star fraction
+	// exceeded Config.StarFractionLimit — too many silent node pairs to
+	// trust the match (DESIGN.md §9).
+	Degraded bool
+	// Retried reports that a degraded collection triggered the bounded
+	// re-collection retry (whether or not the retry recovered).
+	Retried bool
+	// Extrapolated reports that the position came from the last-estimate
+	// + mobility extrapolation fallback, not from the matcher.
+	Extrapolated bool
 	// pairsTotal is the sampling vector's dimension, kept for
 	// Confidence.
 	pairsTotal int
+}
+
+// StarFraction returns the fraction of Star pairs in the sampling
+// vector — the degradation signal Config.StarFractionLimit thresholds.
+func (e Estimate) StarFraction() float64 {
+	if e.pairsTotal <= 0 {
+		return 0
+	}
+	return float64(e.Stars) / float64(e.pairsTotal)
 }
 
 // Confidence scores the estimate in [0, 1]: the product of a similarity
@@ -303,9 +371,24 @@ func (e Estimate) participating() int {
 // Localize performs one grouping sampling at the true target position pos
 // and matches it to a face. rng drives the sampling noise and losses;
 // pass an independent substream per localization for reproducibility.
+// With StarFractionLimit > 0 a degraded collection is retried once from
+// the "retry" substream (split unconditionally, so the retry never
+// perturbs the primary draws).
 func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
 	g := t.sampler.Sample(pos, t.cfg.SamplingTimes, rng)
-	return t.LocalizeGroup(g)
+	var recollect func() *sampling.Group
+	if t.cfg.StarFractionLimit > 0 {
+		retry := rng.Split("retry")
+		recollect = func() *sampling.Group {
+			if t.faults != nil && t.cfg.RetryBackoff > 0 {
+				// The backoff lets transient faults clear before the
+				// re-collection — advance the fault clock past it.
+				t.faults.Seek(t.faults.Now() + t.cfg.RetryBackoff)
+			}
+			return t.sampler.Sample(pos, t.cfg.SamplingTimes, retry)
+		}
+	}
+	return t.LocalizeGroupRetry(g, recollect)
 }
 
 // LocalizeGroup matches an externally collected grouping sampling — the
@@ -314,12 +397,24 @@ func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
 // registry or tracer is attached it also records the localization's
 // telemetry; with neither the cost is two nil checks.
 func (t *Tracker) LocalizeGroup(g *sampling.Group) Estimate {
+	return t.LocalizeGroupRetry(g, nil)
+}
+
+// LocalizeGroupRetry is LocalizeGroup with the degradation policy's
+// re-collection hook: when the sampling vector's star fraction exceeds
+// Config.StarFractionLimit and recollect is non-nil, it is invoked once
+// (after the caller's backoff, if any) to collect a replacement group;
+// the better of the two collections wins. A round still degraded after
+// the retry falls back to last-estimate + mobility extrapolation.
+// recollect may be nil (no retry possible — e.g. the reports are a
+// recorded trace) and may return nil (the re-collection itself failed).
+func (t *Tracker) LocalizeGroupRetry(g *sampling.Group, recollect func() *sampling.Group) Estimate {
 	if t.metrics == nil && t.tracer == nil {
-		return t.localizeGroup(g)
+		return t.localizeDegraded(g, recollect)
 	}
 	end := obs.StartSpan(t.tracer, "core", "localize")
 	start := time.Now()
-	est := t.localizeGroup(g)
+	est := t.localizeDegraded(g, recollect)
 	if m := t.metrics; m != nil {
 		m.latency.Observe(time.Since(start).Seconds())
 		m.localizations.Inc()
@@ -330,12 +425,92 @@ func (t *Tracker) LocalizeGroup(g *sampling.Group) Estimate {
 		if est.FellBack {
 			m.fallbacks.Inc()
 		}
+		if est.Degraded {
+			m.degraded.Inc()
+		}
+		if est.Retried {
+			m.retries.Inc()
+		}
+		if est.Extrapolated {
+			m.extrapolated.Inc()
+		}
 	}
 	if est.FellBack {
 		obs.Emit(t.tracer, "core", "matcher_fallback", est.Similarity)
 	}
+	if est.Degraded {
+		obs.Emit(t.tracer, "core", "degraded", est.StarFraction())
+	}
 	end()
 	return est
+}
+
+// localizeDegraded runs the match plus the degradation policy of
+// DESIGN.md §9 and maintains the estimate history the extrapolation
+// fallback consumes. With StarFractionLimit == 0 it is the plain match
+// plus two point assignments — the hot path stays allocation-free.
+func (t *Tracker) localizeDegraded(g *sampling.Group, recollect func() *sampling.Group) Estimate {
+	est := t.localizeGroup(g)
+	lim := t.cfg.StarFractionLimit
+	if lim <= 0 || est.StarFraction() <= lim {
+		t.pushHistory(est.Pos)
+		return est
+	}
+	est.Degraded = true
+	face := t.prev
+	if recollect != nil {
+		est.Retried = true
+		if g2 := recollect(); g2 != nil {
+			est2 := t.localizeGroup(g2)
+			if est2.StarFraction() < est.StarFraction() {
+				// The retry heard more: adopt it (its face is already
+				// the warm start).
+				est2.Degraded = est2.StarFraction() > lim
+				est2.Retried = true
+				est = est2
+				face = t.prev
+			} else {
+				t.prev = face // keep the first match's warm start
+			}
+		}
+	}
+	if est.Degraded {
+		// The match is star-dominated noise: predict from the estimate
+		// history instead. With two points, dead-reckon one step of the
+		// observed velocity (uniform localization period); with one,
+		// hold; with none, the cold-start match is all there is.
+		switch {
+		case t.histN >= 2:
+			est.Pos = t.cfg.Field.Clamp(geom.Pt(
+				2*t.lastPos.X-t.prevPos.X,
+				2*t.lastPos.Y-t.prevPos.Y,
+			))
+			est.Extrapolated = true
+		case t.histN == 1:
+			est.Pos = t.lastPos
+			est.Extrapolated = true
+		}
+		if est.Extrapolated {
+			// Warm-start the next round where we believe the target is,
+			// not at the noise-matched face.
+			if f := t.div.FaceAt(est.Pos); f != nil {
+				t.prev = f
+				est.FaceID = f.ID
+			}
+		}
+	}
+	t.pushHistory(est.Pos)
+	return est
+}
+
+// pushHistory records a final position estimate for the extrapolation
+// fallback.
+func (t *Tracker) pushHistory(pos geom.Point) {
+	t.prevPos = t.lastPos
+	t.lastPos = pos
+	if t.histN < 2 {
+		t.histN++
+	}
 }
 
 func (t *Tracker) localizeGroup(g *sampling.Group) Estimate {
@@ -376,11 +551,14 @@ type TrackedPoint struct {
 func (t *Tracker) Track(trace []geom.Point, times []float64, rng *randx.Stream) []TrackedPoint {
 	out := make([]TrackedPoint, len(trace))
 	for i, pos := range trace {
-		est := t.Localize(pos, rng.SplitN("loc", i))
 		tm := float64(i)
 		if times != nil {
 			tm = times[i]
 		}
+		if t.faults != nil {
+			t.faults.Seek(tm)
+		}
+		est := t.Localize(pos, rng.SplitN("loc", i))
 		out[i] = TrackedPoint{
 			T:        tm,
 			True:     pos,

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/faults"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/pipeline"
+	"fttt/internal/randx"
+	"fttt/internal/stats"
+	"fttt/internal/wsnnet"
+)
+
+// FaultToleranceRow reports tracking quality at one crash fraction of
+// the FaultTolerance sweep: a scripted mid-run crash of CrashFrac of
+// the deployment (with the burst channel active throughout), tracked by
+// the degradation-aware pipeline.
+type FaultToleranceRow struct {
+	// CrashFrac is the fraction of motes crashed at Duration/4.
+	CrashFrac float64
+	// MeanErr / P90Err summarise the per-round tracking error (m).
+	MeanErr float64
+	P90Err  float64
+	// DeliveredFrac is reports delivered / heard over the run.
+	DeliveredFrac float64
+	// DegradedFrac / RetriedFrac / ExtrapolatedFrac are the fractions
+	// of rounds the degradation policy flagged / re-collected /
+	// dead-reckoned.
+	DegradedFrac     float64
+	RetriedFrac      float64
+	ExtrapolatedFrac float64
+}
+
+// FaultToleranceScript is the scenario the sweep injects: a Gilbert–
+// Elliott burst channel from the start, plus the swept crash event at
+// time at.
+func FaultToleranceScript(crashFrac, at float64) (*faults.Script, error) {
+	return faults.Parse(fmt.Sprintf(
+		"burst pgb=0.02 pbg=0.5 loss=0.9\ncrash at=%g frac=%g", at, crashFrac))
+}
+
+// FaultTolerance sweeps the crashed-node fraction against tracking
+// error on the full pipeline (wsnnet substrate + degradation-aware
+// tracker): each trial deploys n motes, runs the paper's random-
+// waypoint target for p.Duration, and crashes crashFrac of the field a
+// quarter of the way in — the ISSUE 3 acceptance sweep, expected to
+// show bounded error growth (no panics, no NaN estimates) up to 30%
+// crashes.
+func FaultTolerance(p Params, n int, crashFracs []float64) ([]FaultToleranceRow, error) {
+	root := randx.New(p.Seed).Split("fault-tolerance")
+
+	// Trials are paired across crash fractions: deployment, target path
+	// and channel draws come from per-trial streams independent of the
+	// fraction, so row-to-row differences isolate the crash itself.
+	runTrial := func(crashFrac float64, trial int) (errs []float64, row FaultToleranceRow, err error) {
+		rng := root.SplitN("trial", trial)
+		dep := deploy.Random(p.Field, n, rng.Split("deploy"))
+		script, err := FaultToleranceScript(crashFrac, p.Duration/4)
+		if err != nil {
+			return nil, row, err
+		}
+		sched := faults.New(*script, n, p.Seed+uint64(trial))
+		net, err := wsnnet.New(wsnnet.Config{
+			Nodes:        dep.Positions(),
+			BaseStation:  geom.Pt(p.Field.Min.X+5, p.Field.Min.Y+5),
+			Model:        p.Model,
+			SensingRange: p.Range,
+			CommRange:    50,
+			HopLoss:      0.02,
+			HopDelay:     0.002,
+			ReportBits:   256,
+			Epsilon:      p.Epsilon,
+			Obs:          p.Obs,
+			Faults:       sched,
+		})
+		if err != nil {
+			return nil, row, err
+		}
+		tr, err := core.New(core.Config{
+			Field:             p.Field,
+			Nodes:             dep.Positions(),
+			Model:             p.Model,
+			Epsilon:           p.Epsilon,
+			SamplingTimes:     p.K,
+			Range:             p.Range,
+			CellSize:          p.CellSize,
+			StarFractionLimit: 0.6,
+			Obs:               p.Obs,
+		})
+		if err != nil {
+			return nil, row, err
+		}
+		svc, err := pipeline.New(pipeline.Config{
+			Net:          net,
+			Tracker:      tr,
+			Period:       p.LocPeriod,
+			K:            p.K,
+			RetryBackoff: p.LocPeriod / 5,
+			Obs:          p.Obs,
+		})
+		if err != nil {
+			return nil, row, err
+		}
+		mob := mobility.RandomWaypoint(p.Field, p.VMin, p.VMax, p.Duration, rng.Split("mob"))
+		updates := svc.Run(mob, p.Duration, rng.Split("run"))
+
+		heard, delivered := 0, 0
+		for _, u := range updates {
+			if math.IsNaN(u.Error) || math.IsNaN(u.Final.X) || math.IsNaN(u.Final.Y) {
+				return nil, row, fmt.Errorf("experiments: NaN estimate at t=%v (crash frac %v)", u.T, crashFrac)
+			}
+			errs = append(errs, u.Error)
+			heard += u.Stats.Heard
+			delivered += u.Stats.Delivered
+			if u.Degraded {
+				row.DegradedFrac++
+			}
+			if u.Retried {
+				row.RetriedFrac++
+			}
+			if u.Extrapolated {
+				row.ExtrapolatedFrac++
+			}
+		}
+		nr := float64(len(updates))
+		row.DegradedFrac /= nr
+		row.RetriedFrac /= nr
+		row.ExtrapolatedFrac /= nr
+		if heard > 0 {
+			row.DeliveredFrac = float64(delivered) / float64(heard)
+		}
+		return errs, row, nil
+	}
+
+	rows := make([]FaultToleranceRow, 0, len(crashFracs))
+	for _, frac := range crashFracs {
+		var allErrs []float64
+		agg := FaultToleranceRow{CrashFrac: frac}
+		for trial := 0; trial < p.Trials; trial++ {
+			errs, row, err := runTrial(frac, trial)
+			if err != nil {
+				return nil, err
+			}
+			allErrs = append(allErrs, errs...)
+			agg.DeliveredFrac += row.DeliveredFrac
+			agg.DegradedFrac += row.DegradedFrac
+			agg.RetriedFrac += row.RetriedFrac
+			agg.ExtrapolatedFrac += row.ExtrapolatedFrac
+		}
+		tf := float64(p.Trials)
+		agg.DeliveredFrac /= tf
+		agg.DegradedFrac /= tf
+		agg.RetriedFrac /= tf
+		agg.ExtrapolatedFrac /= tf
+		agg.MeanErr = stats.Mean(allErrs)
+		agg.P90Err = stats.Percentile(allErrs, 90)
+		rows = append(rows, agg)
+	}
+	return rows, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFaultToleranceBoundedErrorGrowth is the ISSUE 3 acceptance sweep:
+// tracking error must stay finite (no panic, no NaN) up to 30% node
+// crashes, with bounded growth relative to the fault-free run.
+func TestFaultToleranceBoundedErrorGrowth(t *testing.T) {
+	p := Quick()
+	rows, err := FaultTolerance(p, 25, []float64{0, 0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.MeanErr) || math.IsInf(row.MeanErr, 0) || row.MeanErr <= 0 {
+			t.Fatalf("crash frac %v: mean error %v not finite-positive", row.CrashFrac, row.MeanErr)
+		}
+		if math.IsNaN(row.P90Err) {
+			t.Fatalf("crash frac %v: NaN p90", row.CrashFrac)
+		}
+		if row.DeliveredFrac <= 0 || row.DeliveredFrac > 1 {
+			t.Errorf("crash frac %v: delivered fraction %v outside (0,1]", row.CrashFrac, row.DeliveredFrac)
+		}
+		for name, frac := range map[string]float64{
+			"degraded": row.DegradedFrac, "retried": row.RetriedFrac, "extrapolated": row.ExtrapolatedFrac,
+		} {
+			if frac < 0 || frac > 1 {
+				t.Errorf("crash frac %v: %s fraction %v outside [0,1]", row.CrashFrac, name, frac)
+			}
+		}
+	}
+	// Bounded growth: 30% crashes may hurt, but not catastrophically —
+	// the field is a 100×100 m² box, so errors beyond ~70 m mean the
+	// tracker is effectively guessing corners.
+	if rows[2].MeanErr > 10*rows[0].MeanErr && rows[2].MeanErr > 40 {
+		t.Errorf("error grew unboundedly: %.2f m at 30%% crashes vs %.2f m fault-free",
+			rows[2].MeanErr, rows[0].MeanErr)
+	}
+	// Crashing nodes must reduce delivery, not improve it.
+	if rows[2].DeliveredFrac > rows[0].DeliveredFrac+0.05 {
+		t.Errorf("delivery improved under crashes: %v vs %v",
+			rows[2].DeliveredFrac, rows[0].DeliveredFrac)
+	}
+}

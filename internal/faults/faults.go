@@ -1,0 +1,255 @@
+package faults
+
+import (
+	"math"
+	"sort"
+
+	"fttt/internal/randx"
+	"fttt/internal/sampling"
+	"fttt/internal/wsnnet"
+)
+
+// Scheduler executes one Script against a deployment of n nodes. It
+// implements both injection hooks — wsnnet.FaultInjector for the
+// network substrate and sampling.SampleFaults for the ideal sampler —
+// so the same scenario drives either collection path.
+//
+// A Scheduler is single-goroutine, like core.Tracker: it owns mutable
+// timeline state (event cursor, channel states, crash bookkeeping).
+// Parallel runs build one Scheduler per goroutine from the same
+// (script, n, seed) triple; construction is cheap and the triple fully
+// determines every draw, so replicas stay in lockstep.
+type Scheduler struct {
+	script Script
+	n      int
+	now    float64
+
+	// cursor indexes the first unapplied event (Events are time-sorted).
+	cursor int
+	// crashed[i] marks node i fault-crashed; recoverAt[i] is when the
+	// pending reboot completes (+Inf when the crash is permanent).
+	crashed   []bool
+	recoverAt []float64
+	// killed[i] records that this scheduler killed node i in the
+	// network, so BeginRound only revives its own victims.
+	killed []bool
+	// scale[i] is node i's energy-drain multiplier (1 = nominal).
+	scale []float64
+	// driftRate[i] (dB/s) and skewBias[i] (dB) are the continuous
+	// per-node calibration faults, drawn once at construction.
+	driftRate []float64
+	skewBias  []float64
+	// geBad[i] is node i's Gilbert–Elliott channel state.
+	geBad []bool
+
+	// events is the substream that picks fraction-targeted node sets;
+	// event idx always draws from SplitN("event", idx) so application
+	// order cannot perturb the selection.
+	events *randx.Stream
+}
+
+// Interface conformance: one scheduler serves both collection paths.
+var (
+	_ wsnnet.FaultInjector  = (*Scheduler)(nil)
+	_ sampling.SampleFaults = (*Scheduler)(nil)
+)
+
+// New builds a Scheduler for a deployment of n nodes. The seed roots
+// every random choice the scenario makes (crash-set selection, drift
+// slopes, skew offsets); the same (script, n, seed) always yields the
+// same fault timeline.
+func New(script Script, n int, seed uint64) *Scheduler {
+	s := &Scheduler{
+		script:    script,
+		n:         n,
+		crashed:   make([]bool, n),
+		recoverAt: make([]float64, n),
+		killed:    make([]bool, n),
+		scale:     make([]float64, n),
+		driftRate: make([]float64, n),
+		skewBias:  make([]float64, n),
+		geBad:     make([]bool, n),
+	}
+	root := randx.New(seed).Split("faults")
+	s.events = root.Split("events")
+	for i := range s.recoverAt {
+		s.recoverAt[i] = math.Inf(1)
+		s.scale[i] = 1
+	}
+	if d := script.Drift; d != nil && d.Sigma > 0 {
+		dr := root.Split("drift")
+		for i := range s.driftRate {
+			s.driftRate[i] = dr.SplitN("node", i).Normal(0, d.Sigma)
+		}
+	}
+	if k := script.Skew; k != nil && k.Max > 0 {
+		slew := k.Slew
+		if slew == 0 {
+			slew = 20 // dB/s: a target crossing a mote's near field
+		}
+		sk := root.Split("skew")
+		for i := range s.skewBias {
+			s.skewBias[i] = sk.SplitN("node", i).Uniform(-k.Max, k.Max) * slew
+		}
+	}
+	// The timeline starts at t=0 with t=0 events already applied, so
+	// callers that never Seek still see the scenario's initial state.
+	s.Seek(0)
+	return s
+}
+
+// Now returns the scheduler's current virtual time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Crashed reports whether node i is currently fault-crashed.
+func (s *Scheduler) Crashed(i int) bool { return s.crashed[i] }
+
+// CrashedCount returns how many nodes are currently fault-crashed.
+func (s *Scheduler) CrashedCount() int {
+	c := 0
+	for _, x := range s.crashed {
+		if x {
+			c++
+		}
+	}
+	return c
+}
+
+// Seek advances the scenario to virtual time now, applying every event
+// scheduled at or before it and completing due recoveries. Seek is
+// monotonic: an earlier time than the current one is a no-op, so
+// callers can seek freely from loops that revisit a round.
+func (s *Scheduler) Seek(now float64) {
+	if now < s.now {
+		return
+	}
+	s.now = now
+	for s.cursor < len(s.script.Events) && s.script.Events[s.cursor].At <= now {
+		s.apply(s.cursor)
+		s.cursor++
+	}
+	for i := 0; i < s.n; i++ {
+		if s.crashed[i] && s.recoverAt[i] <= now {
+			s.crashed[i] = false
+			s.recoverAt[i] = math.Inf(1)
+		}
+	}
+}
+
+// apply executes script event idx.
+func (s *Scheduler) apply(idx int) {
+	ev := s.script.Events[idx]
+	for _, i := range s.targets(idx, ev) {
+		if i >= s.n {
+			continue // script written for a larger deployment
+		}
+		switch ev.Kind {
+		case Crash:
+			s.crashed[i] = true
+			if ev.RecoverAt > ev.At {
+				s.recoverAt[i] = ev.RecoverAt
+			} else {
+				s.recoverAt[i] = math.Inf(1)
+			}
+		case Revive:
+			s.crashed[i] = false
+			s.recoverAt[i] = math.Inf(1)
+		case Drain:
+			s.scale[i] = ev.Factor
+		}
+	}
+}
+
+// targets resolves an event's node set: the explicit list, or a
+// deterministic Fraction-sized draw from the event's own substream.
+func (s *Scheduler) targets(idx int, ev Event) []int {
+	if len(ev.Nodes) > 0 {
+		return ev.Nodes
+	}
+	count := int(math.Round(ev.Fraction * float64(s.n)))
+	if count <= 0 {
+		return nil
+	}
+	if count > s.n {
+		count = s.n
+	}
+	perm := s.events.SplitN("event", idx).Perm(s.n)
+	picked := append([]int(nil), perm[:count]...)
+	sort.Ints(picked)
+	return picked
+}
+
+// BeginRound implements wsnnet.FaultInjector: it seeks the scenario to
+// the round's virtual time and syncs the network's liveness and energy
+// scaling with the scheduler's view. Only nodes this scheduler crashed
+// are ever revived, so battery deaths and external Kill calls stand.
+func (s *Scheduler) BeginRound(net *wsnnet.Network, now float64) {
+	s.Seek(now)
+	for i := 0; i < s.n; i++ {
+		switch {
+		case s.crashed[i]:
+			net.Kill(i)
+			s.killed[i] = true
+		case s.killed[i]:
+			net.Revive(i)
+			s.killed[i] = false
+		}
+		net.SetEnergyScale(i, s.scale[i])
+	}
+}
+
+// HopLost implements wsnnet.FaultInjector: the Gilbert–Elliott channel
+// of the transmitting node evolves one step per transmission, and the
+// bad state substitutes Burst.BadLoss for the substrate's base loss.
+// Without an active burst process it reduces to the base Bernoulli.
+func (s *Scheduler) HopLost(tx, rx int, base float64, rng *randx.Stream) bool {
+	p := base
+	if b := s.script.Burst; b != nil && s.now >= b.From && tx >= 0 && tx < s.n {
+		if s.geBad[tx] {
+			if rng.Bernoulli(b.PBadToGood) {
+				s.geBad[tx] = false
+			}
+		} else if rng.Bernoulli(b.PGoodToBad) {
+			s.geBad[tx] = true
+		}
+		if s.geBad[tx] {
+			p = b.BadLoss
+		}
+	}
+	return rng.Bernoulli(p)
+}
+
+// DropReport implements sampling.SampleFaults: crashed nodes never
+// report, and the burst channel — collapsed to a single end-to-end
+// draw, since the ideal sampler has no hops — suppresses reports while
+// the node's channel sits in the bad state.
+func (s *Scheduler) DropReport(node int, rng *randx.Stream) bool {
+	if node < 0 || node >= s.n {
+		return false
+	}
+	if s.crashed[node] {
+		return true
+	}
+	if b := s.script.Burst; b != nil && s.now >= b.From {
+		if s.geBad[node] {
+			if rng.Bernoulli(b.PBadToGood) {
+				s.geBad[node] = false
+			}
+		} else if rng.Bernoulli(b.PGoodToBad) {
+			s.geBad[node] = true
+		}
+		if s.geBad[node] {
+			return rng.Bernoulli(b.BadLoss)
+		}
+	}
+	return false
+}
+
+// PerturbRSS implements both hooks' calibration fault: linear drift
+// slope_i·t plus the clock-skew RSS bias.
+func (s *Scheduler) PerturbRSS(node int, rss float64) float64 {
+	if node < 0 || node >= s.n {
+		return rss
+	}
+	return rss + s.driftRate[node]*s.now + s.skewBias[node]
+}

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFullScript(t *testing.T) {
+	s, err := Parse(`
+# a rebooting third of the field, then a targeted kill
+crash at=20 frac=0.3 recover=40
+crash at=25 nodes=1,4,7
+revive at=45 nodes=1,4
+drain at=10 factor=5 frac=0.5
+burst pgb=0.05 pbg=0.5 loss=0.9 from=15
+drift sigma=0.2
+skew max=0.02 slew=25
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d events, want 4", len(s.Events))
+	}
+	// Sorted by time: drain(10), crash(20), crash(25), revive(45).
+	wantKinds := []EventKind{Drain, Crash, Crash, Revive}
+	wantAt := []float64{10, 20, 25, 45}
+	for i, ev := range s.Events {
+		if ev.Kind != wantKinds[i] || ev.At != wantAt[i] {
+			t.Errorf("event %d = %v@%v, want %v@%v", i, ev.Kind, ev.At, wantKinds[i], wantAt[i])
+		}
+	}
+	if s.Events[1].RecoverAt != 40 || s.Events[1].Fraction != 0.3 {
+		t.Errorf("crash event lost args: %+v", s.Events[1])
+	}
+	if got := s.Events[2].Nodes; len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 7 {
+		t.Errorf("nodes = %v, want [1 4 7]", got)
+	}
+	if s.Events[0].Factor != 5 {
+		t.Errorf("drain factor = %v, want 5", s.Events[0].Factor)
+	}
+	if s.Burst == nil || s.Burst.From != 15 || s.Burst.BadLoss != 0.9 {
+		t.Errorf("burst = %+v", s.Burst)
+	}
+	if s.Drift == nil || s.Drift.Sigma != 0.2 {
+		t.Errorf("drift = %+v", s.Drift)
+	}
+	if s.Skew == nil || s.Skew.Max != 0.02 || s.Skew.Slew != 25 {
+		t.Errorf("skew = %+v", s.Skew)
+	}
+}
+
+func TestParseSemicolonsAndComments(t *testing.T) {
+	s, err := Parse("crash at=5 nodes=0 ; drift sigma=0.1 # trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 || s.Drift == nil {
+		t.Fatalf("semicolon split failed: %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "meteor at=3",
+		"typo'd key":        "crash at=5 fraction=0.5",
+		"bad node id":       "crash at=5 nodes=1,x",
+		"bare word":         "crash at",
+		"bad float":         "crash at=abc frac=0.1",
+		"frac out of range": "crash at=5 frac=1.5",
+		"negative time":     "crash at=-2 frac=0.1",
+		"bad drain factor":  "drain at=5 factor=-1 frac=0.1",
+		"recover on revive": "revive at=5 nodes=0 recover=9",
+		"burst p range":     "burst pgb=1.5",
+		"negative sigma":    "drift sigma=-1",
+	}
+	for name, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s (%q): expected error", name, text)
+		}
+	}
+}
+
+func TestDrainDefaultFactor(t *testing.T) {
+	s, err := Parse("drain at=1 frac=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events[0].Factor != 2 {
+		t.Errorf("default drain factor = %v, want 2", s.Events[0].Factor)
+	}
+}
+
+func TestLoadInlineAndFile(t *testing.T) {
+	inline, err := Load("crash at=3 nodes=2")
+	if err != nil || len(inline.Events) != 1 {
+		t.Fatalf("inline load: %v %+v", err, inline)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.txt")
+	if err := os.WriteFile(path, []byte("drift sigma=0.3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Load(path)
+	if err != nil || fromFile.Drift == nil {
+		t.Fatalf("file load: %v %+v", err, fromFile)
+	}
+	forced, err := Load("@" + path)
+	if err != nil || forced.Drift == nil {
+		t.Fatalf("@file load: %v %+v", err, forced)
+	}
+	if _, err := Load("@/nonexistent/path"); err == nil {
+		t.Error("@missing-file must error, not fall back to inline")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for kind, want := range map[EventKind]string{Crash: "crash", Revive: "revive", Drain: "drain"} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(kind), got, want)
+		}
+	}
+	if got := EventKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

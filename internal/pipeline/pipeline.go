@@ -16,6 +16,7 @@ import (
 	"fttt/internal/mobility"
 	"fttt/internal/obs"
 	"fttt/internal/randx"
+	"fttt/internal/sampling"
 	"fttt/internal/wsnnet"
 )
 
@@ -34,6 +35,13 @@ type Config struct {
 	// WakeRadius, when positive, duty-cycles the collection: only nodes
 	// within this radius of the previous estimate stay awake.
 	WakeRadius float64
+	// RetryBackoff is the virtual-time pause before a degraded round's
+	// re-collection (seconds). The retry itself is armed by the
+	// tracker's Config.StarFractionLimit; a round whose sampling vector
+	// exceeds it waits RetryBackoff on the virtual clock — giving
+	// transient faults a chance to clear — and collects once more, with
+	// both collections' RoundStats merged into the Update.
+	RetryBackoff float64
 	// Obs, when non-nil, receives the pipeline's metrics (rounds, wall
 	// round duration, raw-vs-smoothed residual, wake-set size —
 	// DESIGN.md §"Telemetry"). Attach the same registry to the Net and
@@ -51,6 +59,13 @@ type Update struct {
 	Final geom.Point // smoothed, or Raw when no smoother is configured
 	Error float64    // |Final - True|
 	Stats wsnnet.RoundStats
+	// Degraded/Retried/Extrapolated mirror the tracker's degradation
+	// policy for this round (core.Estimate, DESIGN.md §9): too many
+	// silent pairs, the bounded re-collection fired, the position came
+	// from mobility extrapolation rather than the matcher.
+	Degraded     bool
+	Retried      bool
+	Extrapolated bool
 }
 
 // Service is a ready-to-run online tracking pipeline.
@@ -125,17 +140,29 @@ func (s *Service) RunFunc(target mobility.Model, duration float64, rng *randx.St
 		}
 		t := engine.Now()
 		truth := target.At(t)
-		var st wsnnet.RoundStats
-		var raw geom.Point
-		if s.cfg.WakeRadius > 0 && s.have {
-			gg, stats := s.cfg.Net.CollectRoundFocused(truth, s.prev, s.cfg.WakeRadius, s.cfg.K, rng.SplitN("round", i))
-			st = stats
-			raw = s.cfg.Tracker.LocalizeGroup(gg).Pos
-		} else {
-			gg, stats := s.cfg.Net.CollectRound(truth, s.cfg.K, rng.SplitN("round", i))
-			st = stats
-			raw = s.cfg.Tracker.LocalizeGroup(gg).Pos
+		collect := func(r *randx.Stream) (*sampling.Group, wsnnet.RoundStats) {
+			if s.cfg.WakeRadius > 0 && s.have {
+				return s.cfg.Net.CollectRoundFocused(truth, s.prev, s.cfg.WakeRadius, s.cfg.K, r)
+			}
+			return s.cfg.Net.CollectRound(truth, s.cfg.K, r)
 		}
+		roundRng := rng.SplitN("round", i)
+		gg, st := collect(roundRng)
+		// The recollect hook only fires when the tracker's star-fraction
+		// policy declares the round degraded; it pauses the virtual
+		// clock for the backoff (the target is treated as stationary
+		// over it — backoff ≪ Period) and folds the second collection's
+		// stats into the round's.
+		est := s.cfg.Tracker.LocalizeGroupRetry(gg, func() *sampling.Group {
+			if s.cfg.RetryBackoff > 0 {
+				engine.ScheduleIn(s.cfg.RetryBackoff, func() {})
+				engine.Run()
+			}
+			g2, st2 := collect(roundRng.Split("retry"))
+			st.Accumulate(st2)
+			return g2
+		})
+		raw := est.Pos
 		s.prev, s.have = raw, true
 
 		final := raw
@@ -147,12 +174,15 @@ func (s *Service) RunFunc(target mobility.Model, duration float64, rng *randx.St
 			final = s.cfg.Smoother.Update(raw, dt)
 		}
 		fn(Update{
-			T:     t,
-			True:  truth,
-			Raw:   raw,
-			Final: final,
-			Error: final.Dist(truth),
-			Stats: st,
+			T:            t,
+			True:         truth,
+			Raw:          raw,
+			Final:        final,
+			Error:        final.Dist(truth),
+			Stats:        st,
+			Degraded:     est.Degraded,
+			Retried:      est.Retried,
+			Extrapolated: est.Extrapolated,
 		})
 		if m := s.metrics; m != nil {
 			m.rounds.Inc()

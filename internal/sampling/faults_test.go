@@ -1,0 +1,132 @@
+package sampling
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/vector"
+)
+
+// TestValidateFaultHeavy pins Validate on the degenerate groups fault
+// injection produces: zero delivered reports, k=1, and all-star inputs
+// are structurally valid; shape mismatches are not.
+func TestValidateFaultHeavy(t *testing.T) {
+	zeroDelivered := &Group{
+		RSS:      [][]float64{{0, 0, 0}, {0, 0, 0}},
+		Reported: []bool{false, false, false},
+	}
+	if err := zeroDelivered.Validate(); err != nil {
+		t.Errorf("zero-delivered group rejected: %v", err)
+	}
+	if zeroDelivered.NumReported() != 0 {
+		t.Errorf("NumReported = %d, want 0", zeroDelivered.NumReported())
+	}
+	kOne := &Group{
+		RSS:      [][]float64{{-50, -60}},
+		Reported: []bool{true, true},
+	}
+	if err := kOne.Validate(); err != nil {
+		t.Errorf("k=1 group rejected: %v", err)
+	}
+	empty := &Group{Reported: []bool{false, false}}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("zero-instant group rejected: %v", err)
+	}
+	ragged := &Group{
+		RSS:      [][]float64{{-50, -60}, {-50}},
+		Reported: []bool{true, true},
+	}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	mismatch := &Group{
+		RSS:      [][]float64{{-50, -60}},
+		Reported: []bool{true},
+	}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("Reported/column mismatch accepted")
+	}
+}
+
+// TestVectorsOnFaultHeavyGroups checks the eq. 6 filling on the fault
+// extremes: an all-silent group is all Star in both variants, and a
+// k=1 group still yields only legal values.
+func TestVectorsOnFaultHeavyGroups(t *testing.T) {
+	n := 4
+	g := &Group{
+		RSS:      [][]float64{make([]float64, n)},
+		Reported: make([]bool, n),
+		Epsilon:  1,
+	}
+	for _, v := range []vector.Vector{g.Vector(), g.ExtendedVector()} {
+		if v.CountStars() != v.Dim() {
+			t.Errorf("all-silent group: %d stars of %d pairs", v.CountStars(), v.Dim())
+		}
+	}
+	g.Reported[0], g.Reported[2] = true, true
+	g.RSS[0][0], g.RSS[0][2] = -40, -60
+	for _, v := range []vector.Vector{g.Vector(), g.ExtendedVector()} {
+		for i := 0; i < v.Dim(); i++ {
+			x := v[i]
+			if x.IsStar() {
+				continue
+			}
+			if float64(x) < -1 || float64(x) > 1 {
+				t.Errorf("component %d = %v outside [-1,1]", i, float64(x))
+			}
+		}
+	}
+}
+
+// dropAll suppresses every report; biaser shifts every sample.
+type dropAll struct{}
+
+func (dropAll) DropReport(node int, rng *randx.Stream) bool { return true }
+func (dropAll) PerturbRSS(node int, rss float64) float64    { return rss }
+
+type biaser struct{ bias float64 }
+
+func (biaser) DropReport(node int, rng *randx.Stream) bool { return false }
+func (b biaser) PerturbRSS(node int, rss float64) float64  { return rss + b.bias }
+
+func testSampler() *Sampler {
+	return &Sampler{
+		Model: rf.Default(),
+		Nodes: []geom.Point{geom.Pt(40, 50), geom.Pt(60, 50), geom.Pt(50, 60)},
+	}
+}
+
+// TestSampleFaultsHooks checks the nil-is-off injection points: a
+// drop-all injector silences the field, a bias injector shifts every
+// sample by exactly its bias, and a nil injector reproduces the
+// uninjected draws.
+func TestSampleFaultsHooks(t *testing.T) {
+	pos := geom.Pt(50, 50)
+	base := testSampler()
+	want := base.Sample(pos, 3, randx.New(6))
+
+	silenced := testSampler()
+	silenced.Faults = dropAll{}
+	if g := silenced.Sample(pos, 3, randx.New(6)); g.NumReported() != 0 {
+		t.Errorf("drop-all injector delivered %d reports", g.NumReported())
+	}
+
+	biased := testSampler()
+	biased.Faults = biaser{bias: 7}
+	gb := biased.Sample(pos, 3, randx.New(6))
+	for i := range want.Reported {
+		if want.Reported[i] != gb.Reported[i] {
+			t.Fatalf("bias injector changed who reported (node %d)", i)
+		}
+		if !want.Reported[i] {
+			continue
+		}
+		for tt := range want.RSS {
+			if got := gb.RSS[tt][i] - want.RSS[tt][i]; got != 7 {
+				t.Errorf("RSS[%d][%d] shifted by %v, want 7", tt, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sampling
+
+import (
+	"testing"
+
+	"fttt/internal/vector"
+)
+
+// FuzzGroupVector drives the eq. 6 vector filling with arbitrary
+// fault-heavy groups: any (k, n, RSS, Reported, ε) combination that
+// passes Validate must yield vectors of the right dimension whose
+// components are legal (ternary or fractional in [-1, 1], Star exactly
+// on the both-silent pairs), with the basic vector strictly ternary.
+func FuzzGroupVector(f *testing.F) {
+	f.Add(uint8(3), uint8(4), []byte{10, 200, 30, 44, 55, 66, 70, 81, 92, 103, 114, 125}, uint8(0b0101), 1.0)
+	f.Add(uint8(0), uint8(2), []byte{}, uint8(0), 0.5)
+	f.Add(uint8(1), uint8(6), []byte{1, 2, 3, 4, 5, 6}, uint8(0xFF), 0.0)
+	f.Fuzz(func(t *testing.T, k, n uint8, raw []byte, reported uint8, eps float64) {
+		kk, nn := int(k%5), int(n%8)
+		g := &Group{
+			RSS:      make([][]float64, kk),
+			Reported: make([]bool, nn),
+			Epsilon:  eps,
+		}
+		for ti := 0; ti < kk; ti++ {
+			g.RSS[ti] = make([]float64, nn)
+			for i := 0; i < nn; i++ {
+				if idx := ti*nn + i; idx < len(raw) {
+					// RSS in a plausible dBm band, deterministic in the byte.
+					g.RSS[ti][i] = -120 + float64(raw[idx])/2
+				}
+			}
+		}
+		for i := 0; i < nn; i++ {
+			g.Reported[i] = reported&(1<<(i%8)) != 0
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("constructed group invalid: %v", err)
+		}
+
+		wantDim := vector.NumPairs(nn)
+		for name, v := range map[string]vector.Vector{
+			"basic": g.Vector(), "extended": g.ExtendedVector(),
+		} {
+			if v.Dim() != wantDim {
+				t.Fatalf("%s vector dim = %d, want %d", name, v.Dim(), wantDim)
+			}
+			idx := 0
+			for i := 0; i < nn; i++ {
+				for j := i + 1; j < nn; j++ {
+					x := v[idx]
+					bothSilent := !g.Reported[i] && !g.Reported[j]
+					if x.IsStar() != bothSilent {
+						t.Fatalf("%s[%d] star=%v but bothSilent=%v (pair %d,%d)",
+							name, idx, x.IsStar(), bothSilent, i, j)
+					}
+					if !x.IsStar() {
+						if float64(x) < -1 || float64(x) > 1 {
+							t.Fatalf("%s[%d] = %v outside [-1,1]", name, idx, float64(x))
+						}
+						if name == "basic" && x != vector.Farther && x != vector.Flipped && x != vector.Nearer {
+							t.Fatalf("basic[%d] = %v not ternary", idx, float64(x))
+						}
+					}
+					idx++
+				}
+			}
+		}
+	})
+}

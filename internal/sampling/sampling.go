@@ -85,6 +85,25 @@ type Sampler struct {
 	// (DOI sensing irregularity); Irregularity[i] applies to node i's
 	// samples based on the direction from the node to the target.
 	Irregularity []*rf.Irregularity
+	// Faults, when non-nil, injects scripted failures into every group
+	// (nil-is-off): crash/burst report suppression on top of ReportLoss,
+	// calibration drift and clock-skew slew per sample. The injector
+	// keeps its own clock — callers seek it to the group's virtual time
+	// before Sample. internal/faults provides the deterministic
+	// scenario-script implementation (DESIGN.md §9).
+	Faults SampleFaults
+}
+
+// SampleFaults intercepts the ideal sampler's failure processes; it is
+// consulted only when Sampler.Faults is non-nil.
+type SampleFaults interface {
+	// DropReport decides whether an in-range, loss-surviving node's
+	// report is suppressed this group (crash, burst channel). rng is the
+	// group's loss substream.
+	DropReport(node int, rng *randx.Stream) bool
+	// PerturbRSS adjusts node's raw RSS sample (calibration drift,
+	// clock-skew slew).
+	PerturbRSS(node int, rss float64) float64
 }
 
 // Sample draws one grouping sampling of k instants for a target at pos.
@@ -108,6 +127,9 @@ func (s *Sampler) Sample(pos geom.Point, k int, rng *randx.Stream) *Group {
 	for i, np := range s.Nodes {
 		inRange := s.Range <= 0 || np.Dist(pos) <= s.Range
 		g.Reported[i] = inRange && !loss.Bernoulli(s.ReportLoss)
+		if g.Reported[i] && s.Faults != nil && s.Faults.DropReport(i, loss) {
+			g.Reported[i] = false
+		}
 		if !g.Reported[i] {
 			continue
 		}
@@ -122,6 +144,11 @@ func (s *Sampler) Sample(pos geom.Point, k int, rng *randx.Stream) *Group {
 		sigmaFast := s.Model.SigmaFast()
 		for t := 0; t < k; t++ {
 			g.RSS[t][i] = mean + nodeRng.Normal(0, sigmaFast)
+		}
+		if s.Faults != nil {
+			for t := 0; t < k; t++ {
+				g.RSS[t][i] = s.Faults.PerturbRSS(i, g.RSS[t][i])
+			}
 		}
 	}
 	return g

@@ -1,0 +1,139 @@
+package vector
+
+import (
+	"math"
+	"testing"
+)
+
+// decodeValue maps one fuzz byte onto the legal value domain: the
+// ternary constants, Star, and the fractional extended values of
+// Def. 10. Fuzzing the legal domain (rather than raw float bits) keeps
+// every failure a genuine contract violation instead of a garbage-in
+// complaint.
+func decodeValue(b byte) Value {
+	switch b % 6 {
+	case 0:
+		return Farther
+	case 1:
+		return Flipped
+	case 2:
+		return Nearer
+	case 3:
+		return Star
+	default:
+		// Fractional extended value in [-1, 1], deterministic in b.
+		return Value(float64(b)/127.5 - 1)
+	}
+}
+
+func decodeVector(data []byte, dim int) Vector {
+	v := make(Vector, dim)
+	for k := 0; k < dim; k++ {
+		if k < len(data) {
+			v[k] = decodeValue(data[k])
+		} else {
+			v[k] = Flipped
+		}
+	}
+	return v
+}
+
+// FuzzVectorDiff checks the modified component difference of Def. 8
+// (eq. 7) on arbitrary legal vectors: star components contribute
+// exactly zero, nothing else becomes NaN, the difference is
+// antisymmetric, and a vector differs from itself by the zero vector.
+func FuzzVectorDiff(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{5, 4, 3, 2, 1, 0})
+	f.Add([]byte{3, 3, 3}, []byte{0, 1, 2})
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		dim := len(ab)
+		if len(bb) < dim {
+			dim = len(bb)
+		}
+		a, b := decodeVector(ab, dim), decodeVector(bb, dim)
+
+		d := Diff(a, b)
+		if d.Dim() != dim {
+			t.Fatalf("Diff dim = %d, want %d", d.Dim(), dim)
+		}
+		rev := Diff(b, a)
+		for k := 0; k < dim; k++ {
+			if d[k].IsStar() {
+				t.Fatalf("Diff produced NaN at %d (%v vs %v)", k, a[k], b[k])
+			}
+			if (a[k].IsStar() || b[k].IsStar()) && d[k] != 0 {
+				t.Fatalf("star pair %d contributed %v, want 0 (eq. 7)", k, d[k])
+			}
+			if d[k] != -rev[k] {
+				t.Fatalf("Diff not antisymmetric at %d: %v vs %v", k, d[k], rev[k])
+			}
+		}
+		for k, x := range Diff(a, a) {
+			if x != 0 {
+				t.Fatalf("Diff(a,a)[%d] = %v, want 0", k, x)
+			}
+		}
+	})
+}
+
+// FuzzSimilarity checks the Def. 7 similarity and its Distance base on
+// arbitrary legal vectors: symmetric, non-negative, consistent with the
+// norm of the modified difference, infinite exactly on zero distance,
+// and invariant when a star component's partner value changes.
+func FuzzSimilarity(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250}, []byte{5, 4, 3, 2, 1, 0, 9})
+	f.Add([]byte{3}, []byte{2})
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		dim := len(ab)
+		if len(bb) < dim {
+			dim = len(bb)
+		}
+		a, b := decodeVector(ab, dim), decodeVector(bb, dim)
+
+		dist := Distance(a, b)
+		if math.IsNaN(dist) || dist < 0 {
+			t.Fatalf("Distance = %v", dist)
+		}
+		if rev := Distance(b, a); rev != dist {
+			t.Fatalf("Distance asymmetric: %v vs %v", dist, rev)
+		}
+		// Distance is the Euclidean norm of the modified difference.
+		var sum float64
+		for _, x := range Diff(a, b) {
+			sum += float64(x) * float64(x)
+		}
+		if norm := math.Sqrt(sum); math.Abs(norm-dist) > 1e-9*(1+dist) {
+			t.Fatalf("Distance %v != ‖Diff‖ %v", dist, norm)
+		}
+
+		sim := Similarity(a, b)
+		if math.IsNaN(sim) || sim < 0 {
+			t.Fatalf("Similarity = %v", sim)
+		}
+		if rev := Similarity(b, a); rev != sim {
+			t.Fatalf("Similarity asymmetric: %v vs %v", sim, rev)
+		}
+		if math.IsInf(sim, 1) != (dist == 0) {
+			t.Fatalf("Similarity %v inconsistent with Distance %v", sim, dist)
+		}
+		if s := Similarity(a, a); !math.IsInf(s, 1) {
+			t.Fatalf("Similarity(a,a) = %v, want +Inf", s)
+		}
+
+		// A star masks its component entirely: replacing the other
+		// vector's value under a star must not move the similarity.
+		masked := b.Clone()
+		changed := false
+		for k := 0; k < dim; k++ {
+			if a[k].IsStar() {
+				masked[k] = Nearer
+				changed = true
+			}
+		}
+		if changed && Similarity(a, masked) != sim {
+			t.Fatalf("value under a star changed similarity: %v vs %v",
+				Similarity(a, masked), sim)
+		}
+	})
+}

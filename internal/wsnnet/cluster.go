@@ -81,6 +81,9 @@ func (n *Network) FormClusters(k int) (*Clusters, error) {
 // aggregate loses every report it carried — the aggregation trade-off.
 func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, rng *randx.Stream) (*sampling.Group, RoundStats) {
 	endSpan := obs.StartSpan(n.tracer, "wsnnet", "collect_round_clustered")
+	if f := n.cfg.Faults; f != nil {
+		f.BeginRound(n, n.engine.Now())
+	}
 	nn := len(n.cfg.Nodes)
 	g := &sampling.Group{
 		RSS:      make([][]float64, k),
@@ -119,6 +122,11 @@ func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, 
 		for t := 0; t < k; t++ {
 			samples[t] = mean + nodeRng.Normal(0, sf)
 		}
+		if f := n.cfg.Faults; f != nil {
+			for t := range samples {
+				samples[t] = f.PerturbRSS(i, samples[t])
+			}
+		}
 		rep := report{id: i, samples: samples}
 		head := cl.HeadOf[i]
 		switch {
@@ -127,7 +135,7 @@ func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, 
 		case n.Alive[head] && p.Dist(n.cfg.Nodes[head]) <= n.cfg.CommRange:
 			n.spend(i, txEnergy(n.cfg.ReportBits, p.Dist(n.cfg.Nodes[head])))
 			n.spend(head, rxEnergy(n.cfg.ReportBits))
-			if loss.Bernoulli(n.cfg.HopLoss) {
+			if n.hopLost(i, head, loss) {
 				stats.LostHops++
 				continue
 			}
@@ -192,29 +200,18 @@ func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, 
 			continue
 		}
 		bits := n.cfg.ReportBits * (1 + cl.AggregationFactor*float64(len(reps)-1))
-		delivered := true
-		latency := n.cfg.HopDelay // member hop
-		for hi, hop := range path {
-			var rxPos geom.Point
-			if hi+1 < len(path) {
-				rxPos = n.cfg.Nodes[path[hi+1]]
-			} else {
-				rxPos = n.cfg.BaseStation
-			}
-			n.spend(hop, txEnergy(bits, n.cfg.Nodes[hop].Dist(rxPos)))
-			if hi+1 < len(path) {
-				n.spend(path[hi+1], rxEnergy(bits))
-			}
-			latency += n.cfg.HopDelay
-			if loss.Bernoulli(n.cfg.HopLoss) {
-				delivered = false
-				stats.LostHops += len(reps)
-				break
-			}
-		}
-		if !delivered {
+		outcome, fwdLatency := n.forward(path, bits, loss)
+		switch outcome {
+		case fwdDeadRelay:
+			stats.Voids += len(reps)
+			stats.DeadRelays += len(reps)
+			obs.Emit(n.tracer, "wsnnet", "report_dead_relay", float64(head))
+			continue
+		case fwdLostHop:
+			stats.LostHops += len(reps)
 			continue
 		}
+		latency := n.cfg.HopDelay + fwdLatency // member hop + head path
 		if latency > stats.MaxLatency {
 			stats.MaxLatency = latency
 		}
@@ -230,27 +227,15 @@ func (n *Network) CollectRoundClustered(target geom.Point, k int, cl *Clusters, 
 			stats.Voids++
 			continue
 		}
-		delivered := true
-		latency := 0.0
-		for hi, hop := range path {
-			var rxPos geom.Point
-			if hi+1 < len(path) {
-				rxPos = n.cfg.Nodes[path[hi+1]]
-			} else {
-				rxPos = n.cfg.BaseStation
-			}
-			n.spend(hop, txEnergy(n.cfg.ReportBits, n.cfg.Nodes[hop].Dist(rxPos)))
-			if hi+1 < len(path) {
-				n.spend(path[hi+1], rxEnergy(n.cfg.ReportBits))
-			}
-			latency += n.cfg.HopDelay
-			if loss.Bernoulli(n.cfg.HopLoss) {
-				delivered = false
-				stats.LostHops++
-				break
-			}
-		}
-		if !delivered {
+		outcome, latency := n.forward(path, n.cfg.ReportBits, loss)
+		switch outcome {
+		case fwdDeadRelay:
+			stats.Voids++
+			stats.DeadRelays++
+			obs.Emit(n.tracer, "wsnnet", "report_dead_relay", float64(rep.id))
+			continue
+		case fwdLostHop:
+			stats.LostHops++
 			continue
 		}
 		if latency > stats.MaxLatency {

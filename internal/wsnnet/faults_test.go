@@ -1,0 +1,233 @@
+package wsnnet
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+)
+
+// lineConfig builds a two-node line: node 1 can only reach the base
+// station by relaying through node 0.
+//
+//	BS(0,0) ←45→ node0(30,0) ←40→ node1(70,0)
+func lineConfig() Config {
+	return Config{
+		Nodes:        []geom.Point{geom.Pt(30, 0), geom.Pt(70, 0)},
+		BaseStation:  geom.Pt(0, 0),
+		Model:        rf.Default(),
+		SensingRange: 20,
+		CommRange:    45,
+		HopDelay:     0.002,
+		ReportBits:   256,
+	}
+}
+
+// TestDeadRelayDropsReport is the regression test for the forwarding
+// bug where precomputed paths never re-checked relay liveness: killing
+// the only relay used to leave reports "delivered" through a dead mote.
+// Post-fix the report must die at the relay and be counted as a void
+// (DeadRelays subset), never as delivered.
+func TestDeadRelayDropsReport(t *testing.T) {
+	n, err := New(lineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: node 1's only path relays through node 0.
+	path, ok := n.PathTo(1)
+	if !ok || len(path) != 2 || path[0] != 1 || path[1] != 0 {
+		t.Fatalf("want path [1 0], got %v ok=%v", path, ok)
+	}
+
+	n.Kill(0)
+	target := geom.Pt(70, 0) // only node 1 senses it
+	g, stats := n.CollectRound(target, 3, randx.New(7))
+
+	if stats.Delivered != 0 {
+		t.Errorf("report relayed through a dead mote: Delivered = %d, want 0", stats.Delivered)
+	}
+	if stats.Voids != 1 || stats.DeadRelays != 1 {
+		t.Errorf("dead relay not accounted: Voids = %d, DeadRelays = %d, want 1, 1", stats.Voids, stats.DeadRelays)
+	}
+	if stats.LostHops != 0 {
+		t.Errorf("LostHops = %d, want 0 (HopLoss is zero)", stats.LostHops)
+	}
+	if g.Reported[1] {
+		t.Error("node 1 marked reported despite the dead relay")
+	}
+	// The source still spent TX energy (it cannot know the relay died),
+	// but the dead relay must not be charged RX energy.
+	if n.Energy[1] == 0 {
+		t.Error("source spent no energy transmitting")
+	}
+	deadRelayRx := n.Energy[0]
+	if deadRelayRx > sampleEnergy { // node 0 never sensed (out of range)
+		t.Errorf("dead relay charged %v J RX energy", deadRelayRx)
+	}
+}
+
+// TestDeadRelayReviveRestoresDelivery closes the loop: reviving the
+// relay makes the same round deliver again.
+func TestDeadRelayReviveRestoresDelivery(t *testing.T) {
+	n, err := New(lineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Kill(0)
+	n.Revive(0)
+	_, stats := n.CollectRound(geom.Pt(70, 0), 3, randx.New(7))
+	if stats.Delivered != 1 || stats.DeadRelays != 0 {
+		t.Errorf("Delivered = %d, DeadRelays = %d, want 1, 0", stats.Delivered, stats.DeadRelays)
+	}
+}
+
+// TestDeadRelayClustered exercises the same fix on the clustered path:
+// an aggregate dying at a dead relay voids every report it carried.
+func TestDeadRelayClustered(t *testing.T) {
+	cfg := lineConfig()
+	cfg.SensingRange = 120 // both nodes sense
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cluster headed by node 1: node 0's report goes to the head,
+	// whose aggregate path relays through... node 0 itself — so instead
+	// head the cluster at node 1 and kill node 0 only after phase 1
+	// would use it. Simpler: head = node 1, member = node 0 is within
+	// 40 of the head, and the head's path is [1 0]. Killing node 0
+	// after clustering leaves the member hop dead too, so build the
+	// cluster with both alive and kill just before collection.
+	cl := &Clusters{Heads: []int{1}, HeadOf: []int{1, 1}, AggregationFactor: 0.25}
+	n.Kill(0)
+	_, stats := n.CollectRoundClustered(geom.Pt(70, 0), 3, cl, randx.New(7))
+	// Node 0 is dead (counted Dead); node 1's aggregate dies at relay 0.
+	if stats.Delivered != 0 {
+		t.Errorf("Delivered = %d, want 0", stats.Delivered)
+	}
+	if stats.DeadRelays != 1 {
+		t.Errorf("DeadRelays = %d, want 1", stats.DeadRelays)
+	}
+	if stats.Dead != 1 {
+		t.Errorf("Dead = %d, want 1", stats.Dead)
+	}
+}
+
+// fakeInjector counts hook invocations and can force hop loss.
+type fakeInjector struct {
+	rounds   int
+	hops     int
+	perturbs int
+	loseAll  bool
+	rssBias  float64
+}
+
+func (f *fakeInjector) BeginRound(n *Network, now float64) { f.rounds++ }
+
+func (f *fakeInjector) HopLost(tx, rx int, base float64, rng *randx.Stream) bool {
+	f.hops++
+	if f.loseAll {
+		return true
+	}
+	return rng.Bernoulli(base)
+}
+
+func (f *fakeInjector) PerturbRSS(node int, rss float64) float64 {
+	f.perturbs++
+	return rss + f.rssBias
+}
+
+// TestFaultHooksConsulted wires a fake injector and checks every hook
+// fires, and that a draw-preserving injector reproduces the nil run.
+func TestFaultHooksConsulted(t *testing.T) {
+	cfg := testConfig(16)
+	base, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := geom.Pt(50, 50)
+	gWant, sWant := base.CollectRound(target, 3, randx.New(11))
+
+	fi := &fakeInjector{}
+	cfg2 := testConfig(16)
+	cfg2.Faults = fi
+	inj, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gGot, sGot := inj.CollectRound(target, 3, randx.New(11))
+
+	if fi.rounds != 1 {
+		t.Errorf("BeginRound fired %d times, want 1", fi.rounds)
+	}
+	if fi.hops == 0 || fi.perturbs == 0 {
+		t.Errorf("hooks unfired: hops=%d perturbs=%d", fi.hops, fi.perturbs)
+	}
+	if sGot != sWant {
+		t.Errorf("draw-preserving injector changed stats: %+v vs %+v", sGot, sWant)
+	}
+	for i := range gWant.Reported {
+		if gWant.Reported[i] != gGot.Reported[i] {
+			t.Fatalf("node %d reported mismatch", i)
+		}
+		if !gWant.Reported[i] {
+			continue
+		}
+		for tt := range gWant.RSS {
+			if gWant.RSS[tt][i] != gGot.RSS[tt][i] {
+				t.Fatalf("RSS[%d][%d] drifted without a bias", tt, i)
+			}
+		}
+	}
+}
+
+// TestFaultInjectorLosesHops checks the HopLost hook actually decides
+// loss: an always-lose injector delivers nothing.
+func TestFaultInjectorLosesHops(t *testing.T) {
+	cfg := testConfig(16)
+	cfg.Faults = &fakeInjector{loseAll: true}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := n.CollectRound(geom.Pt(50, 50), 3, randx.New(3))
+	if stats.Delivered != 0 {
+		t.Errorf("Delivered = %d with an always-lose channel", stats.Delivered)
+	}
+	if stats.LostHops == 0 {
+		t.Error("no hops recorded lost")
+	}
+}
+
+// TestSetEnergyScaleAcceleratesDrain verifies the Drain lever: a 3×
+// scale triples a node's debits, and nominal scales stay lazy.
+func TestSetEnergyScaleAcceleratesDrain(t *testing.T) {
+	n, err := New(testConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetEnergyScale(0, 1)
+	if n.energyScale != nil {
+		t.Error("nominal scale materialised the slice")
+	}
+	n.SetEnergyScale(0, 3)
+	n.spend(0, 1)
+	n.spend(1, 1)
+	if n.Energy[0] != 3 {
+		t.Errorf("scaled node spent %v, want 3", n.Energy[0])
+	}
+	if n.Energy[1] != 1 {
+		t.Errorf("unscaled node spent %v, want 1", n.Energy[1])
+	}
+}
+
+// TestRoundStatsAccumulate pins the merge used by re-collection
+// retries: counters add, MaxLatency takes the max.
+func TestRoundStatsAccumulate(t *testing.T) {
+	a := RoundStats{Heard: 2, Delivered: 1, LostHops: 1, Voids: 1, DeadRelays: 1, MaxLatency: 0.01, EnergySpent: 1}
+	a.Accumulate(RoundStats{Heard: 3, Delivered: 2, Dead: 1, Asleep: 1, Collisions: 1, MaxLatency: 0.004, EnergySpent: 2})
+	want := RoundStats{Heard: 5, Delivered: 3, LostHops: 1, Voids: 1, DeadRelays: 1, Dead: 1, Asleep: 1, Collisions: 1, MaxLatency: 0.01, EnergySpent: 3}
+	if a != want {
+		t.Errorf("Accumulate = %+v, want %+v", a, want)
+	}
+}

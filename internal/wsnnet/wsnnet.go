@@ -62,6 +62,29 @@ type Config struct {
 	// Tracer, when non-nil, receives a span per collection round and an
 	// event per lost/unroutable/collided report.
 	Tracer obs.Tracer
+	// Faults, when non-nil, injects scripted failures into every
+	// collection round (nil-is-off, like Obs): crash/revive and battery
+	// drain at round start, burst loss per hop, calibration drift per
+	// sample. internal/faults provides the deterministic scenario-script
+	// implementation (DESIGN.md §9).
+	Faults FaultInjector
+}
+
+// FaultInjector intercepts the substrate's failure processes; it is
+// consulted only when Config.Faults is non-nil.
+type FaultInjector interface {
+	// BeginRound runs once per collection round at virtual time now,
+	// before any sensing: crash or revive motes, rescale batteries.
+	BeginRound(n *Network, now float64)
+	// HopLost decides whether the transmission tx→rx is lost; rx is -1
+	// when the receiver is the base station. base is the configured
+	// HopLoss and rng the round's loss substream — implementations
+	// without an opinion must return rng.Bernoulli(base) so the draw
+	// sequence stays aligned with the uninjected run.
+	HopLost(tx, rx int, base float64, rng *randx.Stream) bool
+	// PerturbRSS adjusts mote node's raw RSS sample (calibration drift,
+	// clock-skew slew).
+	PerturbRSS(node int, rss float64) float64
 }
 
 // Validate reports configuration errors.
@@ -109,8 +132,12 @@ type Network struct {
 	// route-discovery detour real stacks perform. -1 delivers directly,
 	// -2 means truly disconnected.
 	bfsNext []int
-	metrics *netMetrics
-	tracer  obs.Tracer
+	// energyScale[i] multiplies node i's energy debits (1 = nominal);
+	// fault injection uses it for accelerated battery depletion. Nil
+	// until SetEnergyScale first deviates from nominal.
+	energyScale []float64
+	metrics     *netMetrics
+	tracer      obs.Tracer
 }
 
 // netMetrics caches the substrate metric handles, resolved once at New.
@@ -120,6 +147,7 @@ type netMetrics struct {
 	delivered  *obs.Counter
 	lostHops   *obs.Counter
 	voids      *obs.Counter
+	deadRelays *obs.Counter
 	collisions *obs.Counter
 	asleep     *obs.Counter
 	deadSkips  *obs.Counter
@@ -138,6 +166,7 @@ func newNetMetrics(r *obs.Registry, n int) *netMetrics {
 		delivered:  r.Counter("fttt_net_reports_delivered_total"),
 		lostHops:   r.Counter("fttt_net_reports_lost_total"),
 		voids:      r.Counter("fttt_net_reports_void_total"),
+		deadRelays: r.Counter("fttt_net_reports_dead_relay_total"),
 		collisions: r.Counter("fttt_net_collisions_total"),
 		asleep:     r.Counter("fttt_net_reports_asleep_total"),
 		deadSkips:  r.Counter("fttt_net_reports_dead_total"),
@@ -269,8 +298,14 @@ type RoundStats struct {
 	Delivered int
 	// LostHops is how many reports died to per-hop loss.
 	LostHops int
-	// Voids is how many reports could not be routed at all.
+	// Voids is how many reports could not be routed to the base station:
+	// greedy+BFS routing dead ends, plus reports stranded at a relay
+	// that died after the forwarding trees were built (the DeadRelays
+	// subset).
 	Voids int
+	// DeadRelays is how many of the Voids were reports dropped at a
+	// dead relay mid-path.
+	DeadRelays int
 	// Dead is how many sensing nodes had exhausted batteries.
 	Dead int
 	// Asleep is how many in-range nodes were duty-cycled off this round
@@ -283,6 +318,24 @@ type RoundStats struct {
 	MaxLatency float64
 	// EnergySpent is the total energy consumed this round in joules.
 	EnergySpent float64
+}
+
+// Accumulate folds another round's stats into s (counters add,
+// MaxLatency takes the maximum) — used when a degraded round's
+// re-collection retry merges two collections into one Update.
+func (s *RoundStats) Accumulate(o RoundStats) {
+	s.Heard += o.Heard
+	s.Delivered += o.Delivered
+	s.LostHops += o.LostHops
+	s.Voids += o.Voids
+	s.DeadRelays += o.DeadRelays
+	s.Dead += o.Dead
+	s.Asleep += o.Asleep
+	s.Collisions += o.Collisions
+	if o.MaxLatency > s.MaxLatency {
+		s.MaxLatency = o.MaxLatency
+	}
+	s.EnergySpent += o.EnergySpent
 }
 
 // CollectRound runs one localization round at the current virtual time:
@@ -310,6 +363,9 @@ func (n *Network) CollectRoundFocused(target, focus geom.Point, wakeRadius float
 
 func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awake func(i int) bool) (*sampling.Group, RoundStats) {
 	endSpan := obs.StartSpan(n.tracer, "wsnnet", "collect_round")
+	if f := n.cfg.Faults; f != nil {
+		f.BeginRound(n, n.engine.Now())
+	}
 	nn := len(n.cfg.Nodes)
 	g := &sampling.Group{
 		RSS:      make([][]float64, k),
@@ -356,6 +412,11 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 		for t := 0; t < k; t++ {
 			samples[t] = mean + nodeRng.Normal(0, sf)
 		}
+		if f := n.cfg.Faults; f != nil {
+			for t := range samples {
+				samples[t] = f.PerturbRSS(i, samples[t])
+			}
+		}
 		// Forward the report hop by hop.
 		path, routable := n.PathTo(i)
 		if !routable {
@@ -363,28 +424,15 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 			obs.Emit(n.tracer, "wsnnet", "report_void", float64(i))
 			continue
 		}
-		delivered := true
-		latency := 0.0
-		for hi, hop := range path {
-			// TX cost at this hop; RX cost at the receiver (next hop or BS).
-			var rxPos geom.Point
-			if hi+1 < len(path) {
-				rxPos = n.cfg.Nodes[path[hi+1]]
-			} else {
-				rxPos = n.cfg.BaseStation
-			}
-			n.spend(hop, txEnergy(n.cfg.ReportBits, n.cfg.Nodes[hop].Dist(rxPos)))
-			if hi+1 < len(path) {
-				n.spend(path[hi+1], rxEnergy(n.cfg.ReportBits))
-			}
-			latency += n.cfg.HopDelay
-			if loss.Bernoulli(n.cfg.HopLoss) {
-				delivered = false
-				stats.LostHops++
-				break
-			}
-		}
-		if !delivered {
+		outcome, latency := n.forward(path, n.cfg.ReportBits, loss)
+		switch outcome {
+		case fwdDeadRelay:
+			stats.Voids++
+			stats.DeadRelays++
+			obs.Emit(n.tracer, "wsnnet", "report_dead_relay", float64(i))
+			continue
+		case fwdLostHop:
+			stats.LostHops++
 			obs.Emit(n.tracer, "wsnnet", "report_lost", float64(i))
 			continue
 		}
@@ -412,6 +460,55 @@ func (n *Network) collectRound(target geom.Point, k int, rng *randx.Stream, awak
 	return g, stats
 }
 
+// fwdOutcome is the fate of one packet pushed along a forwarding path.
+type fwdOutcome int
+
+const (
+	fwdDelivered fwdOutcome = iota
+	fwdLostHop
+	fwdDeadRelay
+)
+
+// forward pushes one packet of bits along path hop by hop, debiting
+// TX/RX energy, accumulating per-hop latency and drawing per-hop
+// losses. Relay liveness is re-checked at every hop: the forwarding
+// trees are precomputed in New, so a path may pass through motes that
+// have since died (battery exhaustion or Kill) — a dead relay cannot
+// receive or retransmit, and the packet dies there. path[0] is the
+// source, which the caller has already checked alive.
+func (n *Network) forward(path []int, bits float64, loss *randx.Stream) (fwdOutcome, float64) {
+	latency := 0.0
+	for hi, hop := range path {
+		if hi > 0 && !n.Alive[hop] {
+			return fwdDeadRelay, latency
+		}
+		rx := -1
+		rxPos := n.cfg.BaseStation
+		if hi+1 < len(path) {
+			rx = path[hi+1]
+			rxPos = n.cfg.Nodes[rx]
+		}
+		n.spend(hop, txEnergy(bits, n.cfg.Nodes[hop].Dist(rxPos)))
+		if rx >= 0 && n.Alive[rx] {
+			n.spend(rx, rxEnergy(bits))
+		}
+		latency += n.cfg.HopDelay
+		if n.hopLost(hop, rx, loss) {
+			return fwdLostHop, latency
+		}
+	}
+	return fwdDelivered, latency
+}
+
+// hopLost draws one hop's loss, delegating to the fault injector when
+// one is attached.
+func (n *Network) hopLost(tx, rx int, loss *randx.Stream) bool {
+	if f := n.cfg.Faults; f != nil {
+		return f.HopLost(tx, rx, n.cfg.HopLoss, loss)
+	}
+	return loss.Bernoulli(n.cfg.HopLoss)
+}
+
 // recordRound folds one round's aggregate stats into the metrics; no-op
 // without a registry.
 func (n *Network) recordRound(stats RoundStats) {
@@ -424,6 +521,7 @@ func (n *Network) recordRound(stats RoundStats) {
 	m.delivered.Add(float64(stats.Delivered))
 	m.lostHops.Add(float64(stats.LostHops))
 	m.voids.Add(float64(stats.Voids))
+	m.deadRelays.Add(float64(stats.DeadRelays))
 	m.collisions.Add(float64(stats.Collisions))
 	m.asleep.Add(float64(stats.Asleep))
 	m.deadSkips.Add(float64(stats.Dead))
@@ -476,10 +574,30 @@ func (n *Network) contention(target geom.Point, awake func(i int) bool, rng *ran
 
 // spend debits energy from node i and kills it when the battery empties.
 func (n *Network) spend(i int, joules float64) {
+	if n.energyScale != nil {
+		joules *= n.energyScale[i]
+	}
 	n.Energy[i] += joules
 	if n.cfg.InitialEnergy > 0 && n.Energy[i] >= n.cfg.InitialEnergy {
 		n.Alive[i] = false
 	}
+}
+
+// SetEnergyScale sets node i's energy-drain multiplier (1 = nominal);
+// fault injection uses it for accelerated battery depletion. The scale
+// slice is only materialised once a scale deviates from nominal, so
+// unfaulted runs pay nothing.
+func (n *Network) SetEnergyScale(i int, scale float64) {
+	if n.energyScale == nil {
+		if scale == 1 {
+			return
+		}
+		n.energyScale = make([]float64, len(n.cfg.Nodes))
+		for j := range n.energyScale {
+			n.energyScale[j] = 1
+		}
+	}
+	n.energyScale[i] = scale
 }
 
 // Kill marks node i dead regardless of battery — fault injection for the
