@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test race vet allocgate fuzz check bench tools clean
+.PHONY: build test race raceserve vet allocgate fuzz soak check bench tools clean
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# raceserve is the serving-layer race gate: the batcher/admission
+# concurrency machinery plus the end-to-end load test, all under the
+# race detector (the CI job of the same name).
+raceserve:
+	$(GO) test -race -count 1 ./internal/serve/... ./internal/core/...
+
 vet:
 	$(GO) vet ./...
 
@@ -19,7 +25,7 @@ vet:
 # run without -race: the race runtime allocates on the code's behalf, so
 # the gates skip themselves under it.
 allocgate:
-	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget' -count 1 -v .
+	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget|TestServeLocalizeAllocBudget' -count 1 -v .
 
 # fuzz runs every native fuzz target for FUZZTIME each (one -fuzz
 # invocation per target: go test allows a single fuzz target per run).
@@ -29,8 +35,13 @@ fuzz:
 	$(GO) test -fuzz FuzzGroupVector -fuzztime $(FUZZTIME) ./internal/sampling/
 	$(GO) test -fuzz FuzzHeuristicMatch -fuzztime $(FUZZTIME) ./internal/match/
 
+# soak is the long-running serving load test (minutes, race-enabled);
+# not part of check.
+soak:
+	$(GO) test -race -tags soak -count 1 -run TestLoadSoak -v ./internal/serve/loadtest
+
 # check is the full local gate: what CI runs.
-check: vet build race allocgate fuzz
+check: vet build race raceserve allocgate fuzz
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

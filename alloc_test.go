@@ -7,6 +7,7 @@
 package fttt_test
 
 import (
+	"context"
 	"testing"
 
 	"fttt/internal/core"
@@ -17,6 +18,7 @@ import (
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
+	"fttt/internal/serve"
 	"fttt/internal/vector"
 )
 
@@ -101,5 +103,82 @@ func TestLocalizeGroupAllocBudget(t *testing.T) {
 	const budget = 2
 	if allocs > budget {
 		t.Errorf("LocalizeGroup allocates %.1f objects/op, budget %d", allocs, budget)
+	}
+}
+
+// serveSession stands up an in-process serving session on the paper's
+// default-shaped field for the serving-path gates below.
+func serveSession(tb testing.TB) *serve.Session {
+	tb.Helper()
+	srv := serve.New(serve.Config{})
+	sess, err := srv.CreateSession(serve.SessionConfig{
+		Seed:      6,
+		Field:     &serve.RectWire{Max: serve.PointWire{X: 60, Y: 60}},
+		GridNodes: 9,
+		CellSize:  3,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { srv.CloseSession(sess.ID()) })
+	return sess
+}
+
+// TestServeLocalizeAllocBudget gates the full serving path — admission,
+// sequence assignment, substream derivation, the batcher round-trip and
+// result fan-out — so per-request garbage (a stray closure, a
+// per-request timer, JSON marshalling with no SSE subscribers) cannot
+// creep into the hot path unnoticed.
+func TestServeLocalizeAllocBudget(t *testing.T) {
+	skipUnderRace(t)
+	sess := serveSession(t)
+	ctx := context.Background()
+	rng := randx.New(11)
+	points := make([]geom.Point, 16)
+	for i := range points {
+		points[i] = geom.Pt(rng.Uniform(5, 55), rng.Uniform(5, 55))
+	}
+	for _, p := range points { // warm up tracker + batcher scratch
+		if _, err := sess.Localize(ctx, "bench", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := sess.Localize(ctx, "bench", points[i%len(points)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// Dominated by deterministic substream derivation (every randx split
+	// builds a fresh math/rand source) plus the simulated sampling
+	// matrix; the serving wrapper itself adds only the request struct,
+	// done channel and batch slices. Headroom over the measured ~84; the
+	// point is catching order-of-magnitude regressions.
+	const budget = 120
+	if allocs > budget {
+		t.Errorf("served Localize allocates %.1f objects/op, budget %d", allocs, budget)
+	}
+}
+
+// BenchmarkServeLocalize measures the in-process serving path end to
+// end (no HTTP): admission through batcher to delivered estimate.
+func BenchmarkServeLocalize(b *testing.B) {
+	sess := serveSession(b)
+	ctx := context.Background()
+	rng := randx.New(11)
+	points := make([]geom.Point, 16)
+	for i := range points {
+		points[i] = geom.Pt(rng.Uniform(5, 55), rng.Uniform(5, 55))
+	}
+	if _, err := sess.Localize(ctx, "bench", points[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Localize(ctx, "bench", points[i%len(points)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

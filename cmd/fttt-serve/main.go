@@ -1,0 +1,92 @@
+// Command fttt-serve is the tracking-as-a-service daemon: a
+// long-running HTTP/JSON server managing fault-tolerant tracking
+// sessions (internal/serve) with micro-batched localization, bounded
+// admission with load shedding, request deadlines, SSE estimate
+// streams, and graceful drain on SIGTERM/SIGINT. The obs debug
+// endpoints (/metrics, /debug/vars, /debug/pprof/) share the listener.
+//
+// Usage:
+//
+//	fttt-serve -addr :8080
+//	fttt-serve -addr 127.0.0.1:0 -max-batch 32 -batch-wait 1ms -queue 512
+//
+// See the README's "Serving" section for a curl walkthrough of the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fttt/internal/obs"
+	"fttt/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxBatch     = flag.Int("max-batch", 0, "micro-batch size ceiling (0 = default 16)")
+		batchWait    = flag.Duration("batch-wait", 0, "max wait for batch stragglers (0 = default 2ms)")
+		queue        = flag.Int("queue", 0, "per-session admission queue limit (0 = default 256)")
+		timeout      = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
+		workers      = flag.Int("workers", 0, "batch worker pool size (0 = CPU count)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "fttt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration) error {
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxBatch:       maxBatch,
+		MaxWait:        batchWait,
+		QueueLimit:     queue,
+		Workers:        workers,
+		RequestTimeout: timeout,
+		Obs:            reg,
+	})
+	mux := http.NewServeMux()
+	obs.Register(mux, reg)
+	mux.Handle("/", srv)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fttt-serve: listening on http://%s (metrics at /metrics)\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "fttt-serve: %v: draining (up to %v)\n", s, drainTimeout)
+	}
+
+	// Drain first — refuse new work, let admitted requests finish, tear
+	// sessions down — then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "fttt-serve: drain:", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fttt-serve: stopped")
+	return nil
+}

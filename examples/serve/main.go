@@ -1,0 +1,117 @@
+// Serve demonstrates tracking-as-a-service end to end: it stands up the
+// fttt serving layer on a loopback listener (exactly what the
+// fttt-serve daemon runs), then acts as an HTTP client — creating a
+// session, streaming estimates over SSE while a target crosses the
+// field via repeated localize calls, reading back the latest estimate,
+// and finishing with a graceful drain. Every request here maps 1:1 to
+// the curl walkthrough in the README's "Serving" section.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"fttt"
+)
+
+func main() {
+	// The daemon side: fttt-serve does exactly this behind flags.
+	srv := fttt.NewServer(fttt.ServeConfig{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	fmt.Printf("serving on %s\n", ts.URL)
+
+	// POST /v1/sessions — create a session from a wire config. The seed
+	// pins the session's entire noise sequence: rerunning this program
+	// reproduces every estimate byte for byte.
+	sc := fttt.SessionConfig{Seed: 42, GridNodes: 16, CellSize: 2}
+	body, _ := json.Marshal(sc)
+	resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	var sess struct {
+		ID    string `json:"id"`
+		Faces int    `json:"faces"`
+	}
+	must(json.NewDecoder(resp.Body).Decode(&sess))
+	resp.Body.Close()
+	fmt.Printf("session %s created: %d faces preprocessed\n", sess.ID, sess.Faces)
+
+	// GET /v1/sessions/{id}/stream — subscribe to the SSE estimate
+	// stream before driving the target, so every update is observed.
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	req, _ := http.NewRequestWithContext(streamCtx, http.MethodGet,
+		ts.URL+"/v1/sessions/"+sess.ID+"/stream", nil)
+	streamResp, err := client.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer streamResp.Body.Close()
+	events := make(chan string, 32)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(streamResp.Body)
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				events <- data
+			}
+		}
+	}()
+
+	// POST /v1/sessions/{id}/localize — drive the target across the
+	// field. Concurrent clients would be coalesced into micro-batches;
+	// a single client executes immediately with no batching latency.
+	for step := 0; step <= 8; step++ {
+		x := 10 + 10*float64(step)
+		lw, _ := json.Marshal(map[string]any{"target": "rover", "x": x, "y": 50})
+		resp, err := client.Post(ts.URL+"/v1/sessions/"+sess.ID+"/localize",
+			"application/json", bytes.NewReader(lw))
+		if err != nil {
+			panic(err)
+		}
+		var est fttt.EstimateWire
+		must(json.NewDecoder(resp.Body).Decode(&est))
+		resp.Body.Close()
+		fmt.Printf("  req %d: true (%5.1f, 50.0) -> est (%5.1f, %5.1f) confidence %.2f\n",
+			est.Seq, x, est.X, est.Y, est.Confidence)
+	}
+
+	// The SSE stream saw the same estimates the localize calls returned.
+	fmt.Println("stream observed:")
+	for i := 0; i < 3; i++ {
+		var est fttt.EstimateWire
+		must(json.Unmarshal([]byte(<-events), &est))
+		fmt.Printf("  event seq %d: (%5.1f, %5.1f)\n", est.Seq, est.X, est.Y)
+	}
+
+	// GET /v1/sessions/{id}/estimates/{target} — the latest estimate is
+	// queryable without issuing new work.
+	resp, err = client.Get(ts.URL + "/v1/sessions/" + sess.ID + "/estimates/rover")
+	if err != nil {
+		panic(err)
+	}
+	var latest fttt.EstimateWire
+	must(json.NewDecoder(resp.Body).Decode(&latest))
+	resp.Body.Close()
+	fmt.Printf("latest estimate: seq %d at (%5.1f, %5.1f)\n", latest.Seq, latest.X, latest.Y)
+
+	// Graceful drain: in-flight work finishes, new work gets 503, every
+	// SSE stream is closed — what fttt-serve does on SIGTERM.
+	must(srv.Drain(context.Background()))
+	fmt.Println("drained: sessions closed, streams ended")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

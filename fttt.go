@@ -44,6 +44,7 @@ import (
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
+	"fttt/internal/serve"
 )
 
 // Re-exported core types: the tracker and its configuration.
@@ -131,6 +132,33 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 func ServeTelemetry(addr string, reg *Registry) (*TelemetryServer, error) {
 	return obs.Serve(addr, reg)
 }
+
+// Serving layer (tracking-as-a-service; DESIGN.md §10): a long-running
+// HTTP/JSON API over MultiTracker with micro-batched localization,
+// bounded admission with load shedding, request deadlines, SSE estimate
+// streams and graceful drain. The fttt-serve command is the daemon.
+type (
+	// Server is the tracking-as-a-service handler + session table; it
+	// implements http.Handler.
+	Server = serve.Server
+	// ServeConfig parameterises a Server; its zero value is usable.
+	ServeConfig = serve.Config
+	// ServeSession is one live tracking session behind its admission
+	// queue and micro-batcher.
+	ServeSession = serve.Session
+	// SessionConfig is the wire-level session configuration (the JSON
+	// body of POST /v1/sessions).
+	SessionConfig = serve.SessionConfig
+	// PointWire and RectWire are SessionConfig's field/node coordinates
+	// on the wire.
+	PointWire = serve.PointWire
+	RectWire  = serve.RectWire
+	// EstimateWire is one localization outcome on the wire.
+	EstimateWire = serve.EstimateWire
+)
+
+// NewServer builds a tracking-as-a-service server.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // NewMulti preprocesses the shared division and returns a multi-target
 // tracker; targets are created lazily per ID.
@@ -236,16 +264,25 @@ func TrackParallel(cfg Config, traces [][]Point, times [][]float64, seed uint64,
 	return tr.TrackParallel(traces, times, randx.New(seed), workers)
 }
 
-// MeanError returns the mean tracking error of a tracked trace.
+// MeanError returns the mean tracking error of a tracked trace. An
+// empty trace yields the sentinel 0, not NaN; use MeanErrorOK to
+// distinguish "no points" from a genuinely zero mean.
 func MeanError(pts []TrackedPoint) float64 {
+	m, _ := MeanErrorOK(pts)
+	return m
+}
+
+// MeanErrorOK is MeanError with an explicit emptiness signal: ok is
+// false (and the mean 0) when there are no points to average.
+func MeanErrorOK(pts []TrackedPoint) (mean float64, ok bool) {
 	if len(pts) == 0 {
-		return 0
+		return 0, false
 	}
 	var sum float64
 	for _, p := range pts {
 		sum += p.Error
 	}
-	return sum / float64(len(pts))
+	return sum / float64(len(pts)), true
 }
 
 // RequiredSamplingTimes returns the minimum k so the probability of

@@ -65,6 +65,12 @@ func TestMeanErrorEmpty(t *testing.T) {
 	if got := fttt.MeanError(nil); got != 0 {
 		t.Errorf("MeanError(nil) = %v", got)
 	}
+	if m, ok := fttt.MeanErrorOK(nil); ok || m != 0 {
+		t.Errorf("MeanErrorOK(nil) = %v, %v, want 0, false", m, ok)
+	}
+	if m, ok := fttt.MeanErrorOK([]fttt.TrackedPoint{{Error: 3}, {Error: 5}}); !ok || m != 4 {
+		t.Errorf("MeanErrorOK = %v, %v, want 4, true", m, ok)
+	}
 }
 
 func TestDeployHelpers(t *testing.T) {

@@ -178,6 +178,71 @@ func (m *MultiTracker) LocalizeGroups(batch []TargetGroup, workers int) (map[str
 	return out, nil
 }
 
+// LocalizeRequest is one entry of a heterogeneous LocalizeBatch round:
+// a target ID plus either an externally collected grouping sampling
+// (Group non-nil) or a true position to sample, with the request's own
+// noise substream. Unlike LocalizeAll, requests carry explicit streams,
+// so the same target may appear several times in one batch — its
+// requests execute serially in slice order, which is what a serving
+// batcher needs to keep batched execution byte-identical to serial.
+type LocalizeRequest struct {
+	// ID names the target; must be non-empty.
+	ID string
+	// Group, when non-nil, is matched directly (the report-ingestion
+	// path); Pos and Rng are ignored.
+	Group *sampling.Group
+	// Pos is the true target position to sample when Group is nil.
+	Pos geom.Point
+	// Rng drives the sampling noise when Group is nil; required then.
+	Rng *randx.Stream
+}
+
+// LocalizeBatch localizes a heterogeneous batch of requests, fanning
+// distinct targets across a pool of workers (≤ 0 selects
+// runtime.NumCPU(); 1 is serial) while requests for the same target
+// execute serially in slice order. Request i's estimate lands in slot i
+// of the result. Because each request consumes only its own stream and
+// per-target order is preserved, the results are byte-identical for
+// every worker count and batch split — equal to executing the requests
+// one at a time in slice order. This is the primitive the serving
+// micro-batcher (internal/serve) coalesces concurrent localize calls
+// into.
+func (m *MultiTracker) LocalizeBatch(reqs []LocalizeRequest, workers int) ([]Estimate, error) {
+	states := make(map[string]*targetState, len(reqs))
+	order := make([]string, 0, len(reqs))
+	byTarget := make(map[string][]int, len(reqs))
+	for i, r := range reqs {
+		if r.Group == nil && r.Rng == nil {
+			return nil, fmt.Errorf("core: request %d (%q) has neither Group nor Rng", i, r.ID)
+		}
+		if _, ok := states[r.ID]; !ok {
+			ts, err := m.target(r.ID)
+			if err != nil {
+				return nil, err
+			}
+			states[r.ID] = ts
+			order = append(order, r.ID)
+		}
+		byTarget[r.ID] = append(byTarget[r.ID], i)
+	}
+	ests := make([]Estimate, len(reqs))
+	fanOut(len(order), workers, func(ti int) {
+		id := order[ti]
+		ts := states[id]
+		ts.mu.Lock()
+		for _, ri := range byTarget[id] {
+			r := reqs[ri]
+			if r.Group != nil {
+				ests[ri] = ts.tr.LocalizeGroup(r.Group)
+			} else {
+				ests[ri] = ts.tr.Localize(r.Pos, r.Rng)
+			}
+		}
+		ts.mu.Unlock()
+	})
+	return ests, nil
+}
+
 // Forget drops a target's state (e.g. it left the field).
 func (m *MultiTracker) Forget(targetID string) {
 	m.mu.Lock()

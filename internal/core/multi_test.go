@@ -365,3 +365,77 @@ func TestTrackParallelMatchesSerial(t *testing.T) {
 		t.Errorf("nil times should be accepted: %v", err)
 	}
 }
+
+func TestLocalizeBatchMatchesSerial(t *testing.T) {
+	// The serving determinism contract: LocalizeBatch must be
+	// byte-identical to executing the requests one at a time in slice
+	// order, for every worker count — including batches where one target
+	// appears several times (per-target FIFO) and mixed Pos/Group
+	// requests.
+	cfg := defaultConfig(16)
+	s := &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+	root := randx.New(23)
+
+	mkReqs := func() []LocalizeRequest {
+		var reqs []LocalizeRequest
+		seq := map[string]int{}
+		for i := 0; i < 40; i++ {
+			id := fmt.Sprintf("t%d", i%5)
+			n := seq[id]
+			seq[id]++
+			pos := geom.Pt(10+float64((i*7)%80), 10+float64((i*13)%80))
+			if i%4 == 3 {
+				// Report-ingestion path: an externally collected group.
+				g := s.Sample(pos, cfg.SamplingTimes, root.Split(id).SplitN("grp", n))
+				reqs = append(reqs, LocalizeRequest{ID: id, Group: g})
+			} else {
+				reqs = append(reqs, LocalizeRequest{
+					ID: id, Pos: pos,
+					Rng: root.Split(id).SplitN("req", n),
+				})
+			}
+		}
+		return reqs
+	}
+
+	// Serial reference: a fresh MultiTracker, one request at a time.
+	ref, err := NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := mkReqs()
+	want := make([]Estimate, len(reqs))
+	for i, r := range reqs {
+		est, err := ref.LocalizeBatch([]LocalizeRequest{r}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = est[0]
+	}
+
+	for _, workers := range []int{1, 2, 4, 0} {
+		m, err := NewMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.LocalizeBatch(mkReqs(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d request %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Error cases: empty target ID, and a request with neither Group nor
+	// stream.
+	m, _ := NewMulti(cfg)
+	if _, err := m.LocalizeBatch([]LocalizeRequest{{ID: "", Rng: root}}, 1); err == nil {
+		t.Error("empty target ID should fail")
+	}
+	if _, err := m.LocalizeBatch([]LocalizeRequest{{ID: "x"}}, 1); err == nil {
+		t.Error("request with neither Group nor Rng should fail")
+	}
+}

@@ -26,6 +26,16 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
+	Register(mux, reg)
+	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Register installs the debug endpoints — /metrics, /debug/vars and
+// /debug/pprof/ — on mux, for callers that already run an HTTP server
+// (e.g. the fttt-serve daemon mounting them next to its API routes).
+func Register(mux *http.ServeMux, reg *Registry) {
 	mux.Handle("/metrics", Handler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -33,9 +43,6 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s := &Server{srv: &http.Server{Handler: mux}, ln: ln}
-	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
-	return s, nil
 }
 
 // Handler returns the /metrics handler alone, for callers that already

@@ -220,14 +220,23 @@ func (s *Service) Stream(target mobility.Model, duration float64, rng *randx.Str
 	return ch
 }
 
-// MeanError summarises a run.
+// MeanError summarises a run. An empty run yields the sentinel 0, not
+// NaN; use MeanErrorOK to distinguish "no updates" from a genuinely
+// zero mean.
 func MeanError(updates []Update) float64 {
+	m, _ := MeanErrorOK(updates)
+	return m
+}
+
+// MeanErrorOK is MeanError with an explicit emptiness signal: ok is
+// false (and the mean 0) when there are no updates to average.
+func MeanErrorOK(updates []Update) (mean float64, ok bool) {
 	if len(updates) == 0 {
-		return 0
+		return 0, false
 	}
 	var sum float64
 	for _, u := range updates {
 		sum += u.Error
 	}
-	return sum / float64(len(updates))
+	return sum / float64(len(updates)), true
 }

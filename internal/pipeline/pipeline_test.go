@@ -156,6 +156,12 @@ func TestMeanErrorEmpty(t *testing.T) {
 	if MeanError(nil) != 0 {
 		t.Error("MeanError(nil) should be 0")
 	}
+	if m, ok := MeanErrorOK(nil); ok || m != 0 {
+		t.Errorf("MeanErrorOK(nil) = %v, %v, want 0, false", m, ok)
+	}
+	if m, ok := MeanErrorOK([]Update{{Error: 2}, {Error: 4}}); !ok || m != 3 {
+		t.Errorf("MeanErrorOK = %v, %v, want 3, true", m, ok)
+	}
 }
 
 func TestStreamDeliversDuringRun(t *testing.T) {

@@ -1,0 +1,143 @@
+package loadtest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fttt/internal/obs"
+	"fttt/internal/serve"
+)
+
+func testSession(seed uint64) serve.SessionConfig {
+	return serve.SessionConfig{
+		Seed:      seed,
+		Field:     &serve.RectWire{Max: serve.PointWire{X: 60, Y: 60}},
+		GridNodes: 9,
+		CellSize:  3,
+	}
+}
+
+// localizeLatency resolves the server's per-route latency histogram for
+// the localize route (same name and buckets as the serving layer).
+func localizeLatency(reg *obs.Registry) *obs.Histogram {
+	return reg.Histogram(`fttt_serve_request_seconds{route="localize"}`,
+		obs.ExpBuckets(1e-4, 2, 16))
+}
+
+// TestLoadNoFaultPath is the happy-path load test: concurrent clients
+// over real HTTP, zero shedding, zero timeouts, every response body
+// byte-identical to the unbatched serial reference, and p99 localize
+// latency under a generous bound.
+func TestLoadNoFaultPath(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg := Config{
+		Clients:  6,
+		Requests: 10,
+		Seed:     7,
+		Session:  testSession(42),
+	}
+	want, err := cfg.Expected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, res, err := Run(ts.Client(), ts.URL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.CloseSession(id)
+
+	total := cfg.Clients * cfg.Requests
+	if res.OK != total || res.Shed != 0 || res.Deadline != 0 || res.Other != 0 {
+		t.Fatalf("outcomes ok=%d shed=%d deadline=%d other=%d, want %d/0/0/0 (statuses %v)",
+			res.OK, res.Shed, res.Deadline, res.Other, total, res.Statuses)
+	}
+	if err := VerifyBodies(res, want); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := srv.Registry()
+	if got := reg.Counter("fttt_serve_shed_total").Value(); got != 0 {
+		t.Errorf("shed counter %v, want 0", got)
+	}
+	if got := reg.Counter("fttt_serve_timeouts_total").Value(); got != 0 {
+		t.Errorf("timeout counter %v, want 0", got)
+	}
+	if got := reg.Counter(`fttt_serve_requests_total{route="localize"}`).Value(); got != float64(total) {
+		t.Errorf("localize request counter %v, want %d", got, total)
+	}
+	// Every admitted request lands in exactly one executed batch, so the
+	// batch-size histogram's sum equals the request count.
+	bs := reg.Histogram("fttt_serve_batch_size", obs.LinearBuckets(1, 1, 32))
+	if got := bs.Sum(); got != float64(total) {
+		t.Errorf("batch-size histogram sum %v, want %d", got, total)
+	}
+	lat := localizeLatency(reg)
+	if got := lat.Count(); got != uint64(total) {
+		t.Errorf("latency histogram count %d, want %d", got, total)
+	}
+	// Generous ceiling: the no-fault path must stay well under a second
+	// even with -race instrumentation; regressions that serialize the
+	// whole server or leak the batcher wait into idle traffic blow
+	// through it.
+	const p99Bound = 1.0
+	if p99 := lat.Quantile(0.99); p99 > p99Bound {
+		t.Errorf("p99 localize latency %.4fs, want <= %.1fs", p99, p99Bound)
+	}
+	if got := reg.Gauge("fttt_serve_queue_depth").Value(); got != 0 {
+		t.Errorf("queue depth after wave %v, want 0", got)
+	}
+}
+
+// TestLoadOverloadSheds drives the overload path over HTTP: the batcher
+// is gated so admission fills, and the shed/timeout split is exact —
+// QueueLimit admitted requests time out (504), every other request is
+// shed with 429 + Retry-After.
+func TestLoadOverloadSheds(t *testing.T) {
+	const limit = 4
+	gate := make(chan struct{})
+	srv := serve.New(serve.Config{
+		QueueLimit: limit,
+		MaxBatch:   1, // one request in hand at the gate, the rest queued
+		Hooks:      serve.Hooks{BeforeBatch: func(int) { <-gate }},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg := Config{
+		Clients:  limit + 5,
+		Requests: 1,
+		Seed:     11,
+		Session:  testSession(8),
+		Timeout:  150 * time.Millisecond,
+	}
+	id, res, err := Run(ts.Client(), ts.URL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate) // release the batcher; canceled entries are skipped
+	defer srv.CloseSession(id)
+
+	wantShed := cfg.Clients - limit
+	if res.Shed != wantShed || res.Deadline != limit || res.OK != 0 || res.Other != 0 {
+		t.Fatalf("outcomes ok=%d shed=%d deadline=%d other=%d, want 0/%d/%d/0 (statuses %v)",
+			res.OK, res.Shed, res.Deadline, res.Other, wantShed, limit, res.Statuses)
+	}
+	if !res.RetryAfter {
+		t.Error("a 429 response was missing its Retry-After header")
+	}
+	reg := srv.Registry()
+	if got := reg.Counter("fttt_serve_shed_total").Value(); got != float64(wantShed) {
+		t.Errorf("shed counter %v, want %d", got, wantShed)
+	}
+	if got := reg.Counter("fttt_serve_timeouts_total").Value(); got != float64(limit) {
+		t.Errorf("timeout counter %v, want %d", got, limit)
+	}
+	if res.Statuses[http.StatusTooManyRequests] != wantShed {
+		t.Errorf("429 count %d, want %d", res.Statuses[http.StatusTooManyRequests], wantShed)
+	}
+}

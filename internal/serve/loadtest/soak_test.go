@@ -1,0 +1,49 @@
+//go:build soak
+
+package loadtest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"fttt/internal/serve"
+)
+
+// TestLoadSoak is the long-running variant of TestLoadNoFaultPath:
+// several heavier waves against one server, each with its own session
+// and seeds, every response still byte-identical to the serial
+// reference. Run with `go test -tags soak ./internal/serve/loadtest`
+// (the Makefile's soak target adds -race).
+func TestLoadSoak(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for wave := 0; wave < 3; wave++ {
+		cfg := Config{
+			Clients:  16,
+			Requests: 150,
+			Seed:     uint64(100 + wave),
+			Session:  testSession(uint64(1000 + wave)),
+		}
+		want, err := cfg.Expected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, res, err := Run(ts.Client(), ts.URL, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := cfg.Clients * cfg.Requests
+		if res.OK != total || res.Shed != 0 || res.Deadline != 0 || res.Other != 0 {
+			t.Fatalf("wave %d: outcomes ok=%d shed=%d deadline=%d other=%d, want %d/0/0/0",
+				wave, res.OK, res.Shed, res.Deadline, res.Other, total)
+		}
+		if err := VerifyBodies(res, want); err != nil {
+			t.Fatalf("wave %d: %v", wave, err)
+		}
+		if !srv.CloseSession(id) {
+			t.Fatalf("wave %d: session %s not closed", wave, id)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package serve
+
+import "fttt/internal/obs"
+
+// routes instrumented with per-route request counters and latency
+// histograms (fttt_serve_requests_total{route=...},
+// fttt_serve_request_seconds{route=...}).
+var routes = []string{
+	"create", "list", "get", "close", "localize", "reports", "estimate", "stream",
+}
+
+// metrics caches the serving-layer metric handles, resolved once at
+// server construction (the obs rule: the request path only touches
+// atomics).
+type metrics struct {
+	sessions   *obs.Gauge
+	queueDepth *obs.Gauge
+	batchSize  *obs.Histogram
+	shed       *obs.Counter
+	timeouts   *obs.Counter
+	sseDropped *obs.Counter
+	requests   map[string]*obs.Counter
+	latency    map[string]*obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	m := &metrics{
+		sessions:   r.Gauge("fttt_serve_sessions"),
+		queueDepth: r.Gauge("fttt_serve_queue_depth"),
+		batchSize:  r.Histogram("fttt_serve_batch_size", obs.LinearBuckets(1, 1, 32)),
+		shed:       r.Counter("fttt_serve_shed_total"),
+		timeouts:   r.Counter("fttt_serve_timeouts_total"),
+		sseDropped: r.Counter("fttt_serve_sse_dropped_total"),
+		requests:   make(map[string]*obs.Counter, len(routes)),
+		latency:    make(map[string]*obs.Histogram, len(routes)),
+	}
+	for _, rt := range routes {
+		m.requests[rt] = r.Counter(`fttt_serve_requests_total{route="` + rt + `"}`)
+		m.latency[rt] = r.Histogram(`fttt_serve_request_seconds{route="`+rt+`"}`,
+			obs.ExpBuckets(1e-4, 2, 16))
+	}
+	return m
+}
