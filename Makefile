@@ -1,7 +1,12 @@
 GO ?= go
 FUZZTIME ?= 5s
+# perf harness knobs (DESIGN.md §11): where `make perf` writes its
+# report and which committed baseline `make perfcheck` judges against.
+PERF_OUT ?= BENCH_PR5.json
+PERF_BASELINE ?= results/perf/baseline.json
 
-.PHONY: build test race raceserve vet allocgate fuzz soak check bench tools clean
+.PHONY: build test race raceserve vet allocgate fuzz soak check bench tools clean \
+	perf perfcheck profiles docscheck
 
 build:
 	$(GO) build ./...
@@ -40,11 +45,35 @@ fuzz:
 soak:
 	$(GO) test -race -tags soak -count 1 -run TestLoadSoak -v ./internal/serve/loadtest
 
+# docscheck is the documentation gate: vet, the package-doc-comment
+# audit, and the runnable facade examples.
+docscheck:
+	$(GO) vet ./...
+	$(GO) test -run 'TestPackageDocComments|TestMissingPackageDocsDetects|Example' -count 1 ./...
+
 # check is the full local gate: what CI runs.
-check: vet build race raceserve allocgate fuzz
+check: vet build race raceserve allocgate fuzz docscheck
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# perf runs the full-depth perfbench suite and writes $(PERF_OUT); use
+# it to seed the per-PR trajectory (BENCH_PR<N>.json).
+perf:
+	$(GO) run ./cmd/fttt-perf run -o $(PERF_OUT)
+
+# perfcheck is the regression gate: run the suite at smoke depth and
+# diff against the committed baseline with noise-tolerant thresholds
+# (exit 2 on regression). Regenerate the baseline with
+# `go run ./cmd/fttt-perf baseline` after an intended perf change.
+perfcheck:
+	$(GO) run ./cmd/fttt-perf compare -baseline $(PERF_BASELINE)
+
+# profiles captures per-scenario cpu/heap pprof profiles into
+# results/perf/profiles/ (quick repetitions; the report goes to stdout
+# and is discarded).
+profiles:
+	$(GO) run ./cmd/fttt-perf run -quick -profiles results/perf/profiles > /dev/null
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

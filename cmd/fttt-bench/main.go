@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"fttt/internal/experiments"
+	"fttt/internal/fsx"
 	"fttt/internal/geom"
 	"fttt/internal/obs"
 	"fttt/internal/svg"
@@ -151,7 +153,7 @@ func (r *runner) renderTrackSVG(name string, nodes []geom.Point, s experiments.T
 	if r.svgDir == "" {
 		return
 	}
-	f, err := os.Create(r.svgDir + string(os.PathSeparator) + name)
+	f, err := fsx.Create(filepath.Join(r.svgDir, name))
 	if err != nil {
 		fatal(err)
 	}
@@ -728,8 +730,8 @@ func (r *runner) writeFile(name, content string) {
 	if r.csvDir == "" {
 		return
 	}
-	path := r.csvDir + string(os.PathSeparator) + name
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	path := filepath.Join(r.csvDir, name)
+	if err := fsx.WriteFile(path, []byte(content), 0o644); err != nil {
 		fatal(err)
 	}
 }

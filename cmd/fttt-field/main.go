@@ -16,6 +16,7 @@ import (
 	"fttt/internal/arrangement"
 	"fttt/internal/deploy"
 	"fttt/internal/field"
+	"fttt/internal/fsx"
 	"fttt/internal/geom"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
@@ -96,7 +97,7 @@ func run(n int, layout string, eps, sigma, beta, size, cell, cval float64, seed 
 		}
 	}
 	if save != "" {
-		f, err := os.Create(save)
+		f, err := fsx.Create(save)
 		if err != nil {
 			return err
 		}
@@ -139,7 +140,7 @@ func run(n int, layout string, eps, sigma, beta, size, cell, cval float64, seed 
 		if err != nil {
 			circles = nil // C=1: no boundary circles to draw
 		}
-		f, err := os.Create(svgOut)
+		f, err := fsx.Create(svgOut)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,93 @@
+// Documentation gate (`make docscheck`): every non-test package in the
+// module — the facade, every internal/* and cmd/* package, and the
+// examples — must carry a package-level doc comment. The godoc pass of
+// DESIGN.md §3 is enforced, not aspirational.
+package fttt_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// missingPackageDocs walks root and returns "dir (package name)" for
+// every non-test package whose files all lack a package doc comment.
+func missingPackageDocs(root string) ([]string, error) {
+	var missing []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "bin" || name == "results") {
+			return fs.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for pkgName, pkg := range pkgs {
+			if strings.HasSuffix(pkgName, "_test") {
+				continue
+			}
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				rel, rerr := filepath.Rel(root, path)
+				if rerr != nil {
+					rel = path
+				}
+				missing = append(missing, rel+" (package "+pkgName+")")
+			}
+		}
+		return nil
+	})
+	return missing, err
+}
+
+func TestPackageDocComments(t *testing.T) {
+	missing, err := missingPackageDocs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("package without a doc comment: %s", m)
+	}
+}
+
+// TestMissingPackageDocsDetects proves the checker actually fails on an
+// undocumented package (so a green TestPackageDocComments means
+// something).
+func TestMissingPackageDocsDetects(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "undoc")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "u.go"), []byte("package undoc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "doc.go"), []byte("// Package ok is documented.\npackage ok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := missingPackageDocs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || !strings.Contains(missing[0], "undoc") {
+		t.Fatalf("missing = %v, want exactly the undoc package", missing)
+	}
+}

@@ -1,0 +1,72 @@
+// Runnable godoc examples for the fttt facade. Every example is
+// seeded, so the printed output is deterministic and `go test` verifies
+// it — these double as the repo's smallest end-to-end regression tests.
+package fttt_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"fttt"
+)
+
+// ExampleTracker_Localize is the quickstart path: deploy a grid, build
+// a tracker with the paper's Table 1 parameters, localize one target
+// position with a seeded stream.
+func ExampleTracker_Localize() {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	tr, err := fttt.New(fttt.DefaultConfig(dep))
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := tr.Localize(fttt.Pt(42, 58), fttt.NewStream(1))
+	fmt.Printf("estimate (%.1f, %.1f), error %.1f m\n",
+		est.Pos.X, est.Pos.Y, est.Pos.Dist(fttt.Pt(42, 58)))
+	// Output:
+	// estimate (44.5, 56.5), error 2.9 m
+}
+
+// ExampleTrackParallel tracks two independent targets concurrently over
+// one shared field division; results are identical for every worker
+// count (DESIGN.md §8).
+func ExampleTrackParallel() {
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	cfg := fttt.DefaultConfig(fttt.DeployGrid(field, 16))
+	traces := [][]fttt.Point{
+		{fttt.Pt(20, 20), fttt.Pt(25, 24), fttt.Pt(30, 28)},
+		{fttt.Pt(80, 70), fttt.Pt(76, 66), fttt.Pt(72, 62)},
+	}
+	tracked, err := fttt.TrackParallel(cfg, traces, nil, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, pts := range tracked {
+		fmt.Printf("trace %d: %d points, mean error %.1f m\n", i, len(pts), fttt.MeanError(pts))
+	}
+	// Output:
+	// trace 0: 3 points, mean error 10.3 m
+	// trace 1: 3 points, mean error 6.8 m
+}
+
+// ExampleNewServer drives the tracking-as-a-service layer in process:
+// create a session (16 grid nodes, seeded), localize a target through
+// the admission queue and micro-batcher, read the estimate.
+func ExampleNewServer() {
+	srv := fttt.NewServer(fttt.ServeConfig{})
+	sess, err := srv.CreateSession(fttt.SessionConfig{Seed: 6, GridNodes: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.CloseSession(sess.ID())
+
+	res, err := sess.Localize(context.Background(), "rover", fttt.Pt(37, 53))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rover seq %d: estimate (%.1f, %.1f)\n",
+		res.Seq, res.Estimate.Pos.X, res.Estimate.Pos.Y)
+	// Output:
+	// rover seq 0: estimate (40.5, 53.5)
+}

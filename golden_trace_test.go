@@ -12,6 +12,7 @@ import (
 
 	"fttt"
 	"fttt/internal/faults"
+	"fttt/internal/fsx"
 )
 
 // -update-golden regenerates the fixtures under results/golden/ from
@@ -86,10 +87,7 @@ func replayGolden(t *testing.T, name string, faulted bool) {
 	got := goldenCSV(goldenTrace(t, faulted))
 
 	if *updateGolden {
-		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+		if err := fsx.WriteFile(path, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("rewrote %s", path)

@@ -1,0 +1,40 @@
+// Package fsx holds the small filesystem helpers shared by the CLI
+// tools and results writers: Create and WriteFile variants that make
+// any missing parent directories first, so dumping CSV series, SVG
+// renders, .prom telemetry snapshots or perf baselines into a nested
+// results/ path works on a fresh checkout without a manual mkdir. The
+// invariant callers rely on: a successful call means both the directory
+// chain and the file exist; a failed MkdirAll is reported before the
+// file is touched.
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// ensureParent creates path's parent directory chain if it is missing.
+func ensureParent(path string) error {
+	dir := filepath.Dir(path)
+	if dir == "" || dir == "." {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// Create is os.Create preceded by MkdirAll on the parent directory.
+func Create(path string) (*os.File, error) {
+	if err := ensureParent(path); err != nil {
+		return nil, err
+	}
+	return os.Create(path)
+}
+
+// WriteFile is os.WriteFile preceded by MkdirAll on the parent
+// directory.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	if err := ensureParent(path); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, perm)
+}

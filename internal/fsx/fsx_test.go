@@ -1,0 +1,65 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results", "perf", "profiles", "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile into missing dirs: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	// Overwriting through the now-existing chain must also work.
+	if err := WriteFile(path, []byte("y"), 0o644); err != nil {
+		t.Fatalf("WriteFile into existing dirs: %v", err)
+	}
+}
+
+func TestCreateCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "c.svg")
+	f, err := Create(path)
+	if err != nil {
+		t.Fatalf("Create into missing dirs: %v", err)
+	}
+	if _, err := f.WriteString("svg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("stat after Create: %v", err)
+	}
+}
+
+func TestCreateBareName(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+	if err := WriteFile("bare.txt", []byte("ok"), 0o644); err != nil {
+		t.Fatalf("WriteFile with no directory component: %v", err)
+	}
+}
+
+func TestWriteFileParentIsFile(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(blocker, "x.txt"), []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFile under a regular file succeeded, want error")
+	}
+}

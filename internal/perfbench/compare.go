@@ -1,0 +1,189 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CompareOptions are the noise-tolerance thresholds for judging a
+// current run against a baseline. Zero values select the defaults the
+// CI perf smoke job runs with.
+type CompareOptions struct {
+	// MaxRegression is the fractional median-ns/op increase tolerated
+	// before a scenario fails (0 selects 0.30: timing medians across 3
+	// short repetitions on shared CI hardware jitter well below 30%,
+	// while the regressions worth catching — an accidental O(n⁴)
+	// matcher, a per-op allocation storm — blow far past it).
+	MaxRegression float64
+	// MaxAllocRegression is the fractional allocs/op increase tolerated
+	// (0 selects 0.10); AllocSlack absolute allocations are always
+	// forgiven so a 0→1 or 84→86 wobble cannot fail the gate (0 selects
+	// 2).
+	MaxAllocRegression float64
+	AllocSlack         int64
+	// MinReps is the repetition floor below which timing deltas are
+	// advisory only (0 selects 3): a single-rep median is noise, not
+	// evidence.
+	MinReps int
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.MaxRegression == 0 {
+		o.MaxRegression = 0.30
+	}
+	if o.MaxAllocRegression == 0 {
+		o.MaxAllocRegression = 0.10
+	}
+	if o.AllocSlack == 0 {
+		o.AllocSlack = 2
+	}
+	if o.MinReps == 0 {
+		o.MinReps = 3
+	}
+	return o
+}
+
+// Verdicts a compared scenario can receive.
+const (
+	VerdictOK          = "ok"
+	VerdictRegression  = "regression"
+	VerdictImprovement = "improvement"
+	VerdictAdvisory    = "advisory" // over threshold but under MinReps
+	VerdictMissing     = "missing"  // in baseline, absent from current
+	VerdictAdded       = "added"    // in current, absent from baseline
+)
+
+// Delta is one scenario's baseline-vs-current comparison.
+type Delta struct {
+	Name       string  `json:"name"`
+	OldNs      float64 `json:"oldNs"`
+	NewNs      float64 `json:"newNs"`
+	TimeDelta  float64 `json:"timeDelta"` // fractional; +0.25 = 25% slower
+	OldAllocs  int64   `json:"oldAllocs"`
+	NewAllocs  int64   `json:"newAllocs"`
+	AllocDelta float64 `json:"allocDelta"`
+	Verdict    string  `json:"verdict"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// Comparison is the full judgement of a current report against a
+// baseline.
+type Comparison struct {
+	Deltas []Delta
+	// Regressions lists the failing scenario names (time or alloc
+	// regressions, plus scenarios missing from the current run).
+	Regressions []string
+}
+
+// Failed reports whether the comparison should gate (non-zero exit).
+func (c *Comparison) Failed() bool { return len(c.Regressions) > 0 }
+
+// Compare judges current against baseline scenario by scenario in
+// baseline order, appending scenarios only the current run has. A
+// filtered current run therefore fails against a full baseline — by
+// design: the committed baseline defines the scenario set.
+func Compare(baseline, current *Report, opts CompareOptions) *Comparison {
+	opts = opts.withDefaults()
+	cmp := &Comparison{}
+	for _, base := range baseline.Scenarios {
+		cur := current.Find(base.Name)
+		if cur == nil {
+			cmp.Deltas = append(cmp.Deltas, Delta{
+				Name: base.Name, OldNs: base.MedianNsPerOp, OldAllocs: base.AllocsPerOp,
+				Verdict: VerdictMissing, Note: "scenario absent from current run",
+			})
+			cmp.Regressions = append(cmp.Regressions, base.Name)
+			continue
+		}
+		d := Delta{
+			Name:      base.Name,
+			OldNs:     base.MedianNsPerOp,
+			NewNs:     cur.MedianNsPerOp,
+			OldAllocs: base.AllocsPerOp,
+			NewAllocs: cur.AllocsPerOp,
+		}
+		if base.MedianNsPerOp > 0 {
+			d.TimeDelta = cur.MedianNsPerOp/base.MedianNsPerOp - 1
+		}
+		if base.AllocsPerOp > 0 {
+			d.AllocDelta = float64(cur.AllocsPerOp)/float64(base.AllocsPerOp) - 1
+		}
+
+		allocLimit := base.AllocsPerOp + int64(float64(base.AllocsPerOp)*opts.MaxAllocRegression) + opts.AllocSlack
+		allocRegressed := cur.AllocsPerOp > allocLimit
+		// The 1e-9 slop keeps "exactly at threshold" on the passing
+		// side despite float division (1300/1000-1 != 0.30 exactly).
+		timeRegressed := d.TimeDelta > opts.MaxRegression+1e-9
+		switch {
+		case timeRegressed && len(cur.NsPerOp) < opts.MinReps:
+			d.Verdict = VerdictAdvisory
+			d.Note = fmt.Sprintf("median over threshold but only %d reps (< %d): advisory", len(cur.NsPerOp), opts.MinReps)
+		case timeRegressed:
+			d.Verdict = VerdictRegression
+			d.Note = fmt.Sprintf("median ns/op +%.0f%% exceeds +%.0f%% threshold", d.TimeDelta*100, opts.MaxRegression*100)
+		case allocRegressed:
+			d.Verdict = VerdictRegression
+			d.Note = fmt.Sprintf("allocs/op %d exceeds limit %d", cur.AllocsPerOp, allocLimit)
+		case d.TimeDelta < -opts.MaxRegression:
+			d.Verdict = VerdictImprovement
+		default:
+			d.Verdict = VerdictOK
+		}
+		if d.Verdict == VerdictRegression {
+			cmp.Regressions = append(cmp.Regressions, base.Name)
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, cur := range current.Scenarios {
+		if baseline.Find(cur.Name) == nil {
+			cmp.Deltas = append(cmp.Deltas, Delta{
+				Name: cur.Name, NewNs: cur.MedianNsPerOp, NewAllocs: cur.AllocsPerOp,
+				Verdict: VerdictAdded, Note: "not in baseline",
+			})
+		}
+	}
+	return cmp
+}
+
+// Format renders the benchstat-style delta table.
+func (c *Comparison) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %16s  %s\n",
+		"scenario", "old ns/op", "new ns/op", "delta", "allocs/op", "verdict")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 96))
+	for _, d := range c.Deltas {
+		var old, new_, delta, allocs string
+		switch d.Verdict {
+		case VerdictMissing:
+			old, new_, delta = fmtNs(d.OldNs), "—", "—"
+			allocs = fmt.Sprintf("%d → —", d.OldAllocs)
+		case VerdictAdded:
+			old, new_, delta = "—", fmtNs(d.NewNs), "—"
+			allocs = fmt.Sprintf("— → %d", d.NewAllocs)
+		default:
+			old, new_ = fmtNs(d.OldNs), fmtNs(d.NewNs)
+			delta = fmt.Sprintf("%+.1f%%", d.TimeDelta*100)
+			allocs = fmt.Sprintf("%d → %d", d.OldAllocs, d.NewAllocs)
+		}
+		verdict := d.Verdict
+		if d.Note != "" {
+			verdict += " (" + d.Note + ")"
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %8s %16s  %s\n", d.Name, old, new_, delta, allocs, verdict)
+	}
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns == 0:
+		return "0"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}

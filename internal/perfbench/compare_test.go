@@ -1,0 +1,150 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeReport builds a report whose every scenario has the given median
+// ns/op and allocs/op over `reps` repetitions.
+func fakeReport(names []string, ns float64, allocs int64, reps int) *Report {
+	r := &Report{Reps: reps}
+	hostMeta(r)
+	for _, n := range names {
+		sr := ScenarioResult{Name: n, Kind: KindMicro, Seed: 1, MedianNsPerOp: ns, AllocsPerOp: allocs}
+		for i := 0; i < reps; i++ {
+			sr.NsPerOp = append(sr.NsPerOp, ns)
+			sr.Iters = append(sr.Iters, 100)
+		}
+		r.Scenarios = append(r.Scenarios, sr)
+	}
+	return r
+}
+
+var names = []string{"core/localize", "match/heuristic"}
+
+func TestCompareCleanRun(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 1100, 84, 3) // +10%: inside the 30% default
+	cmp := Compare(base, cur, CompareOptions{})
+	if cmp.Failed() {
+		t.Fatalf("clean run failed: %v", cmp.Regressions)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Verdict != VerdictOK {
+			t.Errorf("%s: verdict %q, want ok", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestCompareSyntheticTimeRegression(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 2000, 84, 3) // +100%: injected regression
+	cmp := Compare(base, cur, CompareOptions{})
+	if !cmp.Failed() {
+		t.Fatal("2× median slowdown not flagged")
+	}
+	if len(cmp.Regressions) != len(names) {
+		t.Fatalf("regressions %v, want all of %v", cmp.Regressions, names)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 1000, 200, 3) // 84 → 200 allocs/op
+	cmp := Compare(base, cur, CompareOptions{})
+	if !cmp.Failed() {
+		t.Fatal("alloc blow-up not flagged")
+	}
+
+	// Small absolute wobble stays inside AllocSlack.
+	cur = fakeReport(names, 1000, 86, 3)
+	if cmp := Compare(base, cur, CompareOptions{}); cmp.Failed() {
+		t.Fatalf("84→86 allocs flagged despite slack: %v", cmp.Regressions)
+	}
+
+	// Zero-alloc scenarios get slack too: 0→2 passes, 0→3 fails.
+	base = fakeReport(names, 1000, 0, 3)
+	if cmp := Compare(base, fakeReport(names, 1000, 2, 3), CompareOptions{}); cmp.Failed() {
+		t.Fatalf("0→2 allocs flagged: %v", cmp.Regressions)
+	}
+	if cmp := Compare(base, fakeReport(names, 1000, 3, 3), CompareOptions{}); !cmp.Failed() {
+		t.Fatal("0→3 allocs not flagged")
+	}
+}
+
+func TestCompareFewRepsIsAdvisory(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 5000, 84, 1) // huge delta, single rep
+	cmp := Compare(base, cur, CompareOptions{})
+	if cmp.Failed() {
+		t.Fatalf("single-rep delta failed the gate: %v", cmp.Regressions)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Verdict != VerdictAdvisory {
+			t.Errorf("%s: verdict %q, want advisory", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestCompareMissingAndAdded(t *testing.T) {
+	base := fakeReport([]string{"core/localize", "match/heuristic"}, 1000, 84, 3)
+	cur := fakeReport([]string{"core/localize", "serve/new-thing"}, 1000, 84, 3)
+	cmp := Compare(base, cur, CompareOptions{})
+	if !cmp.Failed() {
+		t.Fatal("scenario missing from current run must fail the gate")
+	}
+	verdicts := map[string]string{}
+	for _, d := range cmp.Deltas {
+		verdicts[d.Name] = d.Verdict
+	}
+	if verdicts["match/heuristic"] != VerdictMissing {
+		t.Errorf("match/heuristic verdict %q, want missing", verdicts["match/heuristic"])
+	}
+	if verdicts["serve/new-thing"] != VerdictAdded {
+		t.Errorf("serve/new-thing verdict %q, want added", verdicts["serve/new-thing"])
+	}
+	if verdicts["core/localize"] != VerdictOK {
+		t.Errorf("core/localize verdict %q, want ok", verdicts["core/localize"])
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 500, 84, 3)
+	cmp := Compare(base, cur, CompareOptions{})
+	if cmp.Failed() {
+		t.Fatalf("improvement failed the gate: %v", cmp.Regressions)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Verdict != VerdictImprovement {
+			t.Errorf("%s: verdict %q, want improvement", d.Name, d.Verdict)
+		}
+	}
+}
+
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	// Exactly at the threshold: not a regression (strict >).
+	cmp := Compare(base, fakeReport(names, 1300, 84, 3), CompareOptions{MaxRegression: 0.30})
+	if cmp.Failed() {
+		t.Fatalf("delta exactly at threshold failed: %v", cmp.Regressions)
+	}
+	cmp = Compare(base, fakeReport(names, 1301, 84, 3), CompareOptions{MaxRegression: 0.30})
+	if !cmp.Failed() {
+		t.Fatal("delta just over threshold passed")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	base := fakeReport(names, 1000, 84, 3)
+	cur := fakeReport(names, 2000, 84, 3)
+	var b strings.Builder
+	Compare(base, cur, CompareOptions{}).Format(&b)
+	out := b.String()
+	for _, want := range []string{"scenario", "core/localize", "match/heuristic", "+100.0%", "regression", "84 → 84"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

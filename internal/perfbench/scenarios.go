@@ -1,0 +1,378 @@
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/experiments"
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/match"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+	"fttt/internal/serve"
+	"fttt/internal/vector"
+)
+
+// Suite returns the scenario catalog in its stable order. Names, kinds,
+// seeds and MapsTo strings are part of the baseline contract: append
+// new scenarios, never rename or reseed existing ones without
+// regenerating results/perf/baseline.json.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			Name: "vector/diff", Kind: KindMicro, Seed: 21,
+			Summary: "vector.Diff of two 20-node (190-pair) sampling vectors",
+			MapsTo:  "Defs. 4-6 vector algebra behind eq. 6-7",
+			setup:   setupVectorDiff,
+		},
+		{
+			Name: "vector/similarity", Kind: KindMicro, Seed: 21,
+			Summary: "vector.Similarity of a sampling vector against a face signature",
+			MapsTo:  "Sec. 4.4 similarity matching (eq. 8)",
+			setup:   setupVectorSimilarity,
+		},
+		{
+			Name: "field/signature-pass", Kind: KindMicro, Seed: 6,
+			Summary: "field.DivideWorkers signature pass, 20-node grid, 2 m cells, CPU workers",
+			MapsTo:  "Sec. 4.3 approximate grid division; results/face_complexity.csv",
+			setup:   setupSignaturePass,
+		},
+		{
+			Name: "match/heuristic", Kind: KindMicro, Seed: 9,
+			Summary: "warmed match.Heuristic.Match over a 16-probe spread (cold + prev-face starts)",
+			MapsTo:  "Algorithm 2, the O(n⁴)→O(n²) claim of Sec. 4.4(2); results/match_cost.csv",
+			setup:   setupHeuristicMatch,
+		},
+		{
+			Name: "core/localize", Kind: KindMacro, Seed: 7,
+			Summary: "one full Tracker.Localize (grouping sampling → vector → match → estimate)",
+			MapsTo:  "eq. 6-7 end to end; the Fig. 11 per-round workload",
+			setup:   setupLocalize,
+		},
+		{
+			Name: "core/localize-batch", Kind: KindMacro, Seed: 13,
+			Summary: "MultiTracker.LocalizeBatch of 16 requests across 4 targets, CPU workers",
+			MapsTo:  "DESIGN.md §8 multi-target batching (serving determinism contract)",
+			setup:   setupLocalizeBatch,
+		},
+		{
+			Name: "core/track-parallel", Kind: KindMacro, Seed: 17,
+			Summary: "Tracker.TrackParallel over 4 independent 16-point traces, CPU workers",
+			MapsTo:  "Fig. 10-style traces under the DESIGN.md §8 concurrency model",
+			setup:   setupTrackParallel,
+		},
+		{
+			Name: "core/track-faulted", Kind: KindMacro, Seed: 19,
+			Summary: "Tracker.Track over 32 points with burst loss + 20% crash and the degradation policy armed",
+			MapsTo:  "DESIGN.md §9 fault model; results/fault_tolerance.csv",
+			setup:   setupTrackFaulted,
+		},
+		{
+			Name: "serve/roundtrip", Kind: KindMacro, Seed: 11,
+			Summary: "in-process serving round-trip (admission → batcher → estimate), default batching, serial client",
+			MapsTo:  "DESIGN.md §10 serving architecture",
+			setup:   func(sc Scenario) (*instance, error) { return setupServe(sc, 0, false) },
+		},
+		{
+			Name: "serve/roundtrip-unbatched", Kind: KindMacro, Seed: 11,
+			Summary: "in-process serving round-trip with micro-batching off (MaxBatch=1), serial client",
+			MapsTo:  "DESIGN.md §10 batching ablation",
+			setup:   func(sc Scenario) (*instance, error) { return setupServe(sc, 1, false) },
+		},
+		{
+			Name: "serve/roundtrip-concurrent", Kind: KindMacro, Seed: 11,
+			Summary: "in-process serving round-trip, GOMAXPROCS concurrent clients over 4 targets (batches coalesce)",
+			MapsTo:  "DESIGN.md §10 micro-batcher coalescing",
+			setup:   func(sc Scenario) (*instance, error) { return setupServe(sc, 0, true) },
+		},
+	}
+}
+
+// sink defeats dead-code elimination in micro scenarios.
+var sink any
+
+// paperConfig is the BenchmarkLocalize fixture: the paper's Table 1
+// field with 20 random nodes (deployment seed 6) and 2 m cells — the
+// configuration the PR-2 hot-path numbers were reported on.
+func paperConfig() core.Config {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	return core.Config{
+		Field: fieldRect, Nodes: dep.Positions(), Model: rf.Default(),
+		Epsilon: 1, SamplingTimes: 5, Range: 40, CellSize: 2,
+	}
+}
+
+func paperSampler(cfg core.Config) *sampling.Sampler {
+	return &sampling.Sampler{Model: cfg.Model, Nodes: cfg.Nodes, Range: cfg.Range, Epsilon: cfg.Epsilon}
+}
+
+func setupVectorDiff(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	s := paperSampler(cfg)
+	rng := randx.New(sc.Seed)
+	a := s.Sample(geom.Pt(40, 60), cfg.SamplingTimes, rng.Split("a")).Vector()
+	b := s.Sample(geom.Pt(42, 58), cfg.SamplingTimes, rng.Split("b")).Vector()
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			sink = vector.Diff(a, b)
+		}
+	}}, nil
+}
+
+func setupVectorSimilarity(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	s := paperSampler(cfg)
+	rng := randx.New(sc.Seed)
+	v := s.Sample(geom.Pt(40, 60), cfg.SamplingTimes, rng.Split("a")).Vector()
+	sig := field.Signature(mustClassifier(cfg), geom.Pt(41, 59))
+	var acc float64
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			acc += vector.Similarity(v, sig)
+		}
+		sink = acc
+	}}, nil
+}
+
+func mustClassifier(cfg core.Config) *field.RatioClassifier {
+	rc, err := field.NewRatioClassifier(cfg.Nodes, cfg.UncertaintyC())
+	if err != nil {
+		panic(err)
+	}
+	return rc
+}
+
+func setupSignaturePass(sc Scenario) (*instance, error) {
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Grid(fieldRect, 20)
+	rc, err := field.NewRatioClassifier(dep.Positions(), rf.Default().UncertaintyC(1))
+	if err != nil {
+		return nil, err
+	}
+	workers := runtime.NumCPU()
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			div, err := field.DivideWorkers(fieldRect, rc, 2, workers)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			sink = div
+		}
+	}}, nil
+}
+
+func setupHeuristicMatch(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	rc := mustClassifier(cfg)
+	div, err := field.Divide(cfg.Field, rc, cfg.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	s := paperSampler(cfg)
+	m := &match.Heuristic{Div: div}
+	// The alloc_test probe spread: cold starts, warm starts, frontier
+	// growth — so the number is not one lucky vector.
+	rng := randx.New(sc.Seed)
+	type probe struct {
+		v    vector.Vector
+		prev *field.Face
+	}
+	probes := make([]probe, 16)
+	for i := range probes {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		probes[i].v = s.Sample(p, cfg.SamplingTimes, rng.SplitN("probe", i)).Vector()
+		if i%3 != 0 {
+			probes[i].prev = div.FaceAt(p)
+		}
+	}
+	for _, pr := range probes { // warm the matcher scratch
+		m.Match(pr.v, pr.prev)
+	}
+	var n int
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			pr := probes[n%len(probes)]
+			sink = m.Match(pr.v, pr.prev)
+			n++
+		}
+	}}, nil
+}
+
+func setupLocalize(sc Scenario) (*instance, error) {
+	tr, err := core.New(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	var n int
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			sink = tr.Localize(geom.Pt(40, 60), rng.SplitN("loc", n))
+			n++
+		}
+	}}, nil
+}
+
+func setupLocalizeBatch(sc Scenario) (*instance, error) {
+	mt, err := core.NewMulti(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	workers := runtime.NumCPU()
+	const reqs, targets = 16, 4
+	var round int
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		batch := make([]core.LocalizeRequest, reqs)
+		for i := 0; i < tb.N; i++ {
+			rr := rng.SplitN("round", round)
+			for j := range batch {
+				batch[j] = core.LocalizeRequest{
+					ID:  fmt.Sprintf("t%d", j%targets),
+					Pos: geom.Pt(20+float64(j)*4, 70-float64(j)*3),
+					Rng: rr.SplitN("req", j),
+				}
+			}
+			if _, err := mt.LocalizeBatch(batch, workers); err != nil {
+				tb.Fatal(err)
+			}
+			round++
+		}
+	}}, nil
+}
+
+func setupTrackParallel(sc Scenario) (*instance, error) {
+	tr, err := core.New(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	const nTraces, nPoints = 4, 16
+	traces := make([][]geom.Point, nTraces)
+	for t := range traces {
+		tt := rng.SplitN("trace", t)
+		traces[t] = make([]geom.Point, nPoints)
+		for i := range traces[t] {
+			traces[t][i] = geom.Pt(tt.Uniform(5, 95), tt.Uniform(5, 95))
+		}
+	}
+	workers := runtime.NumCPU()
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			out, err := tr.TrackParallel(traces, nil, randx.New(sc.Seed), workers)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			sink = out
+		}
+	}}, nil
+}
+
+func setupTrackFaulted(sc Scenario) (*instance, error) {
+	script, err := experiments.FaultToleranceScript(0.2, 5)
+	if err != nil {
+		return nil, err
+	}
+	cfg := paperConfig()
+	cfg.FaultScript = script
+	cfg.FaultSeed = sc.Seed
+	cfg.StarFractionLimit = 0.4
+	cfg.RetryBackoff = 1
+	tr, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	const nPoints = 32
+	trace := make([]geom.Point, nPoints)
+	for i := range trace {
+		trace[i] = geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+	}
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			tr.Reset()
+			sink = tr.Track(trace, nil, randx.New(sc.Seed))
+		}
+	}}, nil
+}
+
+// setupServe stands up the alloc_test serving fixture (9 grid nodes on
+// a 60×60 m field, 3 m cells) and measures the in-process round-trip:
+// admission, sequence assignment, substream derivation, the batcher and
+// result fan-out — no HTTP. maxBatch 0 keeps the serving default (16);
+// 1 disables coalescing. concurrent fans GOMAXPROCS clients over 4
+// targets so batches actually coalesce.
+func setupServe(sc Scenario, maxBatch int, concurrent bool) (*instance, error) {
+	srv := serve.New(serve.Config{MaxBatch: maxBatch})
+	sess, err := srv.CreateSession(serve.SessionConfig{
+		Seed:      sc.Seed,
+		Field:     &serve.RectWire{Max: serve.PointWire{X: 60, Y: 60}},
+		GridNodes: 9,
+		CellSize:  3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	points := make([]geom.Point, 16)
+	for i := range points {
+		points[i] = geom.Pt(rng.Uniform(5, 55), rng.Uniform(5, 55))
+	}
+	lat := newLatencyRecorder()
+	ctx := context.Background()
+	var op func(b *testing.B)
+	if concurrent {
+		var client atomic.Uint64
+		op = func(tb *testing.B) {
+			tb.ReportAllocs()
+			tb.RunParallel(func(pb *testing.PB) {
+				target := fmt.Sprintf("c%d", client.Add(1)%4)
+				var n int
+				for pb.Next() {
+					start := time.Now()
+					if _, err := sess.Localize(ctx, target, points[n%len(points)]); err != nil {
+						tb.Error(err)
+						return
+					}
+					lat.observe(time.Since(start))
+					n++
+				}
+			})
+		}
+	} else {
+		var n int
+		op = func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				start := time.Now()
+				if _, err := sess.Localize(ctx, "bench", points[n%len(points)]); err != nil {
+					tb.Fatal(err)
+				}
+				lat.observe(time.Since(start))
+				n++
+			}
+		}
+	}
+	return &instance{
+		op:      op,
+		lat:     lat,
+		cleanup: func() { srv.CloseSession(sess.ID()) },
+	}, nil
+}
