@@ -6,7 +6,7 @@ PERF_OUT ?= BENCH_PR5.json
 PERF_BASELINE ?= results/perf/baseline.json
 
 .PHONY: build test race raceserve vet allocgate fuzz soak check bench tools clean \
-	perf perfcheck profiles docscheck
+	perf perfcheck profiles docscheck trace-demo
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ vet:
 # run without -race: the race runtime allocates on the code's behalf, so
 # the gates skip themselves under it.
 allocgate:
-	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget|TestServeLocalizeAllocBudget' -count 1 -v .
+	$(GO) test -run 'TestHeuristicMatchZeroAllocs|TestLocalizeGroupAllocBudget|TestServeLocalizeAllocBudget|TestTraceNilPathZeroAllocs' -count 1 -v .
 
 # fuzz runs every native fuzz target for FUZZTIME each (one -fuzz
 # invocation per target: go test allows a single fuzz target per run).
@@ -74,6 +74,17 @@ perfcheck:
 # and is discarded).
 profiles:
 	$(GO) run ./cmd/fttt-perf run -quick -profiles results/perf/profiles > /dev/null
+
+# trace-demo produces a Perfetto-loadable flight recording from a
+# seeded faulted run: load results/trace/demo.trace.json into
+# https://ui.perfetto.dev (or chrome://tracing) to walk the span trees.
+trace-demo:
+	mkdir -p results/trace
+	$(GO) run ./cmd/fttt-sim -seed 7 -duration 20 -starfrac 0.6 \
+		-faults 'crash at=3 frac=0.3 recover=8; drift sigma=0.05; skew max=0.01' \
+		-trace results/trace/demo.jsonl > /dev/null
+	$(GO) run ./cmd/fttt-trace chrome results/trace/demo.jsonl -o results/trace/demo.trace.json
+	@echo "trace-demo: results/trace/demo.trace.json (load in https://ui.perfetto.dev)"
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

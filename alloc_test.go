@@ -15,6 +15,7 @@ import (
 	"fttt/internal/field"
 	"fttt/internal/geom"
 	"fttt/internal/match"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -103,6 +104,31 @@ func TestLocalizeGroupAllocBudget(t *testing.T) {
 	const budget = 2
 	if allocs > budget {
 		t.Errorf("LocalizeGroup allocates %.1f objects/op, budget %d", allocs, budget)
+	}
+}
+
+// TestTraceNilPathZeroAllocs pins the tracing-off contract: with a nil
+// Tracer or nil *Recorder, every instrumentation entry point must cost
+// one pointer comparison and zero allocations, so always-on call sites
+// in the localization hot path stay free when no recorder is attached.
+func TestTraceNilPathZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	var rec *obs.Recorder
+	parent := obs.SpanRef{}
+	allocs := testing.AllocsPerRun(200, func() {
+		obs.StartSpan(nil, "core", "localize")()
+		obs.Emit(nil, "core", "degraded", 1)
+		sp := rec.Start(parent, "core", "localize")
+		sp.Attr("reported", 5)
+		sp.AttrStr("target", "t")
+		sp.Flag("degraded", true)
+		sp.End()
+		rec.RecordEvent(parent, "faults", "report_dropped", 1)
+		rec.Link(parent, parent)
+		_ = rec.Records()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer/nil-recorder path allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -37,16 +37,18 @@ func main() {
 		timeout      = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
 		workers      = flag.Int("workers", 0, "batch worker pool size (0 = CPU count)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		traceRecords = flag.Int("trace-records", 0, "per-session flight-recorder capacity in trace records (0 = tracing off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout); err != nil {
+	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout, *traceRecords); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration) error {
+func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration, traceRecords int) error {
 	reg := obs.NewRegistry()
+	build := obs.RegisterBuildInfo(reg)
 	srv := serve.New(serve.Config{
 		MaxBatch:       maxBatch,
 		MaxWait:        batchWait,
@@ -54,6 +56,7 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 		Workers:        workers,
 		RequestTimeout: timeout,
 		Obs:            reg,
+		TraceRecords:   traceRecords,
 	})
 	mux := http.NewServeMux()
 	obs.Register(mux, reg)
@@ -66,7 +69,11 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 	hs := &http.Server{Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "fttt-serve: %s\n", build)
 	fmt.Fprintf(os.Stderr, "fttt-serve: listening on http://%s (metrics at /metrics)\n", ln.Addr())
+	if traceRecords > 0 {
+		fmt.Fprintf(os.Stderr, "fttt-serve: flight recorder on (last %d records per session at /v1/sessions/{id}/debug/trace)\n", traceRecords)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)

@@ -58,6 +58,9 @@ type simConfig struct {
 	script                     *faults.Script
 	starFrac, retryBackoff     float64
 	obs                        *obs.Registry
+	// rec, when non-nil, records structured traces of every round; main
+	// writes the JSONL export to -trace at exit.
+	rec *obs.Recorder
 }
 
 // simResult is what one trial contributes to the end-of-run summary.
@@ -98,6 +101,7 @@ func main() {
 		starFrac  = flag.Float64("starfrac", 0, "star-fraction degradation threshold arming retry + extrapolation (0 = off)")
 		backoff   = flag.Float64("retrybackoff", -1, "virtual-time backoff before a degraded round's re-collection (s); -1 = period/5")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		tracePath = flag.String("trace", "", "write a JSONL trace recording of the run to this path (convert with fttt-trace)")
 	)
 	flag.Parse()
 
@@ -142,6 +146,9 @@ func main() {
 		script: script, starFrac: *starFrac, retryBackoff: *backoff,
 		obs: reg,
 	}
+	if *tracePath != "" {
+		cfg.rec = obs.NewRecorder(0)
+	}
 
 	var all []float64
 	var rounds, heard, delivered int
@@ -167,6 +174,21 @@ func main() {
 			s.Mean, lo, hi, s.StdDev, s.Median, s.P90, s.Max)
 	}
 	printSummary(reg, *netMode, rounds, heard, delivered, all)
+	if cfg.rec != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = obs.WriteJSONL(f, cfg.rec.Records())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-sim: trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d records written to %s (%d dropped by the ring)\n",
+			len(cfg.rec.Records()), *tracePath, cfg.rec.Dropped())
+	}
 }
 
 // printSummary renders the end-of-run metrics table so every invocation
@@ -255,11 +277,17 @@ func runMulti(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mode
 	if c.strategy == "fttt-ext" {
 		variant = core.Extended
 	}
-	mt, err := core.NewMulti(core.Config{
+	mcfg := core.Config{
 		Field: field, Nodes: dep.Positions(), Model: model,
 		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 		ReportLoss: c.loss, Variant: variant, Obs: c.obs,
-	})
+	}
+	if c.rec != nil {
+		// A bare nil-pointer assignment would produce a typed-nil Tracer
+		// interface and defeat the tracker's nil fast path.
+		mcfg.Tracer = c.rec
+	}
+	mt, err := core.NewMulti(mcfg)
 	if err != nil {
 		return simResult{}, err
 	}
@@ -344,6 +372,9 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 		Epsilon:      c.eps,
 		Obs:          c.obs,
 	}
+	if c.rec != nil {
+		netCfg.Tracer = c.rec
+	}
 	if c.script != nil {
 		// The scheduler rides the network's virtual clock: every
 		// collection round's BeginRound seeks it to engine.Now().
@@ -353,18 +384,25 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 	if err != nil {
 		return simResult{}, err
 	}
-	tr, err := core.New(core.Config{
+	tcfg := core.Config{
 		Field: field, Nodes: dep.Positions(), Model: model,
 		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 		Variant: variant, StarFractionLimit: c.starFrac, Obs: c.obs,
-	})
+	}
+	pcfg := pipeline.Config{
+		Net: net, Tracker: nil, Period: c.locPeriod, K: c.k,
+		RetryBackoff: c.retryBackoff, Obs: c.obs,
+	}
+	if c.rec != nil {
+		tcfg.Tracer = c.rec
+		pcfg.Tracer = c.rec
+	}
+	tr, err := core.New(tcfg)
 	if err != nil {
 		return simResult{}, err
 	}
-	svc, err := pipeline.New(pipeline.Config{
-		Net: net, Tracker: tr, Period: c.locPeriod, K: c.k,
-		RetryBackoff: c.retryBackoff, Obs: c.obs,
-	})
+	pcfg.Tracker = tr
+	svc, err := pipeline.New(pcfg)
 	if err != nil {
 		return simResult{}, err
 	}
@@ -408,6 +446,9 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 		sched = faults.New(*c.script, c.n, c.seed)
 		sampler.Faults = sched
 	}
+	// The standalone sampler records its fault injections directly (the
+	// groups are drawn outside any tracker round).
+	sampler.Trace = c.rec
 
 	// Groups are drawn lazily inside the round loop so the fault clock
 	// tracks each round's time; each draw uses an independent "loc"
@@ -428,6 +469,9 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 			Field: field, Nodes: dep.Positions(), Model: model,
 			Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 			StarFractionLimit: c.starFrac, Obs: c.obs,
+		}
+		if c.rec != nil {
+			cfg.Tracer = c.rec
 		}
 		if c.strategy == "fttt-ext" {
 			cfg.Variant = core.Extended

@@ -1,0 +1,198 @@
+// Command fttt-trace inspects and converts trace recordings — the JSONL
+// files written by fttt-sim/fttt-track -trace and by
+// GET /v1/sessions/{id}/debug/trace?format=jsonl.
+//
+// Usage:
+//
+//	fttt-trace show run.jsonl            # pretty-print the span trees
+//	fttt-trace chrome run.jsonl -o run.trace.json
+//	curl -s .../debug/trace?format=jsonl | fttt-trace show -
+//
+// The chrome subcommand emits the Chrome trace-event format, loadable in
+// https://ui.perfetto.dev or chrome://tracing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"fttt/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "show":
+		err = runShow(os.Args[2:])
+	case "chrome":
+		err = runChrome(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "fttt-trace: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fttt-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  fttt-trace show <recording.jsonl>              pretty-print span trees
+  fttt-trace chrome <recording.jsonl> [-o path]  convert to Chrome trace-event JSON
+
+Pass "-" to read the recording from stdin.
+`)
+}
+
+// readRecords loads a JSONL recording from path ("-" = stdin).
+func readRecords(path string) ([]obs.Record, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return obs.ReadJSONL(r)
+}
+
+func runChrome(args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("o", "-", "output path (- = stdout)")
+	path, err := parseWithOnePath(fs, args)
+	if err != nil {
+		return err
+	}
+	recs, err := readRecords(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.WriteChromeTrace(w, recs)
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	path, err := parseWithOnePath(fs, args)
+	if err != nil {
+		return err
+	}
+	recs, err := readRecords(path)
+	if err != nil {
+		return err
+	}
+	show(os.Stdout, recs)
+	return nil
+}
+
+// parseWithOnePath parses fs accepting flags before or after the single
+// positional recording path (stdlib flag stops at the first positional).
+func parseWithOnePath(fs *flag.FlagSet, args []string) (string, error) {
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	path := ""
+	for rest := fs.Args(); len(rest) > 0; rest = fs.Args() {
+		if path != "" {
+			return "", fmt.Errorf("%s wants exactly one recording path, got %q and %q", fs.Name(), path, rest[0])
+		}
+		path = rest[0]
+		fs.Parse(rest[1:]) //nolint:errcheck // ExitOnError
+	}
+	if path == "" {
+		return "", fmt.Errorf("%s wants a recording path (- = stdin)", fs.Name())
+	}
+	return path, nil
+}
+
+// show renders every trace as an indented tree, in first-record order.
+func show(w io.Writer, recs []obs.Record) {
+	byTrace := make(map[obs.TraceID][]obs.Record)
+	var order []obs.TraceID
+	for _, rec := range recs {
+		if _, ok := byTrace[rec.Trace]; !ok {
+			order = append(order, rec.Trace)
+		}
+		byTrace[rec.Trace] = append(byTrace[rec.Trace], rec)
+	}
+	fmt.Fprintf(w, "%d records, %d traces\n", len(recs), len(order))
+	for _, trace := range order {
+		members := byTrace[trace]
+		fmt.Fprintf(w, "\ntrace %d (%d records)\n", trace, len(members))
+		children := make(map[obs.SpanID][]obs.Record)
+		var roots []obs.Record
+		known := make(map[obs.SpanID]bool, len(members))
+		for _, m := range members {
+			if m.Kind == obs.KindSpan {
+				known[m.Span] = true
+			}
+		}
+		for _, m := range members {
+			if m.Parent != 0 && known[m.Parent] {
+				children[m.Parent] = append(children[m.Parent], m)
+			} else {
+				roots = append(roots, m)
+			}
+		}
+		for _, m := range roots {
+			printTree(w, m, children, 1)
+		}
+	}
+}
+
+func printTree(w io.Writer, rec obs.Record, children map[obs.SpanID][]obs.Record, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch rec.Kind {
+	case obs.KindSpan:
+		fmt.Fprintf(w, "%s%s/%s  %.3fms%s\n",
+			indent, rec.Component, rec.Name,
+			float64(rec.Dur.Nanoseconds())/1e6, attrString(rec.Attrs))
+	case obs.KindEvent:
+		fmt.Fprintf(w, "%s! %s/%s  value=%g\n", indent, rec.Component, rec.Name, rec.Value)
+	case obs.KindLink:
+		fmt.Fprintf(w, "%s→ links trace %d span %d\n", indent, rec.LinkTrace, rec.LinkSpan)
+	}
+	kids := children[rec.Span]
+	sort.SliceStable(kids, func(i, j int) bool { return kids[i].Seq < kids[j].Seq })
+	for _, kid := range kids {
+		printTree(w, kid, children, depth+1)
+	}
+}
+
+func attrString(attrs []obs.Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, a := range attrs {
+		sb.WriteString("  ")
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		if a.Str != "" {
+			sb.WriteString(a.Str)
+		} else {
+			fmt.Fprintf(&sb, "%g", a.Num)
+		}
+	}
+	return sb.String()
+}

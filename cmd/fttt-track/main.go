@@ -39,6 +39,7 @@ func main() {
 		inPath    = flag.String("in", "", "input trace CSV (default: 't x y' lines on stdin)")
 		velocity  = flag.Bool("velocity", false, "append velocity estimates to stderr summary")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+		tracePath = flag.String("trace", "", "write a JSONL trace recording of the run to this path")
 	)
 	flag.Parse()
 
@@ -52,13 +53,13 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
 	}
-	if err := run(*n, *layout, *k, *eps, *size, *cell, *variant, *seed, *inPath, *velocity, reg); err != nil {
+	if err := run(*n, *layout, *k, *eps, *size, *cell, *variant, *seed, *inPath, *velocity, *tracePath, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-track:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, layout string, k int, eps, size, cell float64, variant string, seed uint64, inPath string, velocity bool, reg *obs.Registry) error {
+func run(n int, layout string, k int, eps, size, cell float64, variant string, seed uint64, inPath string, velocity bool, tracePath string, reg *obs.Registry) error {
 	field := geom.NewRect(geom.Pt(0, 0), geom.Pt(size, size))
 	root := randx.New(seed)
 
@@ -78,6 +79,11 @@ func run(n int, layout string, k int, eps, size, cell float64, variant string, s
 		Field: field, Nodes: dep.Positions(), Model: rf.Default(),
 		Epsilon: eps, SamplingTimes: k, Range: 40, CellSize: cell,
 		Obs: reg,
+	}
+	var rec *obs.Recorder
+	if tracePath != "" {
+		rec = obs.NewRecorder(0)
+		cfg.Tracer = rec
 	}
 	switch variant {
 	case "basic":
@@ -109,6 +115,13 @@ func run(n int, layout string, k int, eps, size, cell float64, variant string, s
 	if err := out.WriteCSV(os.Stdout); err != nil {
 		return err
 	}
+	if rec != nil {
+		if err := writeTrace(tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d records written to %s (%d dropped by the ring)\n",
+			len(rec.Records()), tracePath, rec.Dropped())
+	}
 
 	s := stats.Summarize(out.Errors())
 	fmt.Fprintf(os.Stderr, "tracked %d points: mean=%.2fm stddev=%.2fm max=%.2fm p95-localize=%.3fms\n",
@@ -124,6 +137,19 @@ func run(n int, layout string, k int, eps, size, cell float64, variant string, s
 			stats.Mean(speeds), stats.Median(speeds))
 	}
 	return nil
+}
+
+// writeTrace dumps the recorder's surviving records as JSONL.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, rec.Records()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // readInput parses a trace CSV (when path set) or "t x y" lines from

@@ -35,6 +35,7 @@ package fttt
 
 import (
 	"fmt"
+	"io"
 
 	"fttt/internal/core"
 	"fttt/internal/deploy"
@@ -122,6 +123,39 @@ type (
 	// pprof).
 	TelemetryServer = obs.Server
 )
+
+// Tracing types (DESIGN.md §12): the structured flight recorder behind
+// Config.Tracer, the -trace flags of fttt-sim/fttt-track, and the
+// serving layer's /debug/trace endpoint.
+type (
+	// TraceRecorder is the bounded lock-free ring of trace records; it
+	// implements Tracer, so install it via Config.Tracer. A nil
+	// *TraceRecorder is "tracing off" at pointer-check cost.
+	TraceRecorder = obs.Recorder
+	// TraceRecord is one completed span, event or link of a recording.
+	TraceRecord = obs.Record
+	// SpanRef identifies a span for parenting and linking.
+	SpanRef = obs.SpanRef
+)
+
+// NewTraceRecorder builds a flight recorder keeping the last capacity
+// records (<= 0 selects the default of obs.DefaultRecorderCap).
+func NewTraceRecorder(capacity int) *TraceRecorder { return obs.NewRecorder(capacity) }
+
+// NewMultiTracer fans tracer callbacks out to every non-nil tracer —
+// use it to combine a TraceRecorder with a custom Tracer.
+func NewMultiTracer(tracers ...Tracer) Tracer { return obs.NewMultiTracer(tracers...) }
+
+// WriteTraceJSONL writes a recording one JSON record per line — the
+// format fttt-trace and ReadTraceJSONL consume.
+func WriteTraceJSONL(w io.Writer, recs []TraceRecord) error { return obs.WriteJSONL(w, recs) }
+
+// ReadTraceJSONL loads a JSONL recording.
+func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) { return obs.ReadJSONL(r) }
+
+// WriteChromeTrace converts a recording to the Chrome trace-event JSON
+// format, loadable in https://ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs []TraceRecord) error { return obs.WriteChromeTrace(w, recs) }
 
 // NewRegistry returns an empty telemetry registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }

@@ -174,6 +174,19 @@ type Tracker struct {
 	histN   int
 	metrics *trackerMetrics
 	tracer  obs.Tracer
+	// cb is tracer with any Recorder stripped: the flat Span/Event
+	// callbacks go here so the recorder — which captures the rich
+	// structured spans below — does not record every round twice.
+	cb obs.Tracer
+	// rec is the structured trace sink extracted from cfg.Tracer
+	// (obs.RecorderOf); nil disables all structured tracing.
+	rec *obs.Recorder
+	// reqSpan is the serving layer's per-request trace context: the next
+	// round span parents under it (SetRequestSpan).
+	reqSpan obs.SpanRef
+	// round is the currently open localization round span; children
+	// (sampling, match) and degradation events parent under it.
+	round obs.SpanRef
 }
 
 // trackerMetrics caches the core metric handles. They are resolved once
@@ -263,7 +276,10 @@ func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 			Epsilon:    cfg.Epsilon,
 		},
 		tracer: cfg.Tracer,
+		cb:     obs.WithoutRecorder(cfg.Tracer),
+		rec:    obs.RecorderOf(cfg.Tracer),
 	}
+	t.sampler.Trace = t.rec
 	if cfg.FaultScript != nil {
 		t.faults = faults.New(*cfg.FaultScript, len(cfg.Nodes), cfg.FaultSeed)
 		t.sampler.Faults = t.faults
@@ -375,7 +391,11 @@ func (e Estimate) participating() int {
 // the "retry" substream (split unconditionally, so the retry never
 // perturbs the primary draws).
 func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
-	g := t.sampler.Sample(pos, t.cfg.SamplingTimes, rng)
+	// Open the round span before sampling so the collection nests inside
+	// it; LocalizeGroupRetry's beginRound then sees the round already
+	// open and leaves ownership here.
+	sp, owned := t.beginRound()
+	g := t.sampleTraced("sample", pos, rng)
 	var recollect func() *sampling.Group
 	if t.cfg.StarFractionLimit > 0 {
 		retry := rng.Split("retry")
@@ -385,10 +405,62 @@ func (t *Tracker) Localize(pos geom.Point, rng *randx.Stream) Estimate {
 				// re-collection — advance the fault clock past it.
 				t.faults.Seek(t.faults.Now() + t.cfg.RetryBackoff)
 			}
-			return t.sampler.Sample(pos, t.cfg.SamplingTimes, retry)
+			return t.sampleTraced("resample", pos, retry)
 		}
 	}
-	return t.LocalizeGroupRetry(g, recollect)
+	est := t.LocalizeGroupRetry(g, recollect)
+	if owned {
+		t.endRound(&sp, est)
+	}
+	return est
+}
+
+// beginRound opens the structured round span under the current request
+// context, unless tracing is off or a round is already open (Localize
+// opens it around the collection; LocalizeGroupRetry opens it for
+// externally collected groups). The caller owning the span (owned ==
+// true) must close it with endRound.
+func (t *Tracker) beginRound() (sp obs.ActiveSpan, owned bool) {
+	if t.rec == nil || t.round.Valid() {
+		return obs.ActiveSpan{}, false
+	}
+	sp = t.rec.Start(t.reqSpan, "core", "localize")
+	t.round = sp.Ref()
+	return sp, true
+}
+
+// endRound annotates the round span with the estimate's outcome and
+// publishes it.
+func (t *Tracker) endRound(sp *obs.ActiveSpan, est Estimate) {
+	sp.Attr("reported", float64(est.Reported))
+	sp.Attr("star_fraction", est.StarFraction())
+	sp.Attr("face", float64(est.FaceID))
+	sp.Flag("degraded", est.Degraded)
+	sp.Flag("retried", est.Retried)
+	sp.Flag("extrapolated", est.Extrapolated)
+	sp.End()
+	t.round = obs.SpanRef{}
+}
+
+// SetRequestSpan installs the trace context the next rounds parent
+// under — the serving layer's per-request span. Pass the zero SpanRef to
+// clear. Like every Tracker method it is single-goroutine.
+func (t *Tracker) SetRequestSpan(ref obs.SpanRef) { t.reqSpan = ref }
+
+// sampleTraced collects one grouping sampling, bracketed by a
+// "sampling" child span when tracing is on. The sampler's fault events
+// (report drops, RSS bias) parent under the collection span.
+func (t *Tracker) sampleTraced(name string, pos geom.Point, rng *randx.Stream) *sampling.Group {
+	if t.rec == nil {
+		return t.sampler.Sample(pos, t.cfg.SamplingTimes, rng)
+	}
+	sp := t.rec.Start(t.round, "sampling", name)
+	t.sampler.TraceSpan = sp.Ref()
+	g := t.sampler.Sample(pos, t.cfg.SamplingTimes, rng)
+	t.sampler.TraceSpan = obs.SpanRef{}
+	sp.Attr("reported", float64(g.NumReported()))
+	sp.End()
+	return g
 }
 
 // LocalizeGroup matches an externally collected grouping sampling — the
@@ -412,7 +484,8 @@ func (t *Tracker) LocalizeGroupRetry(g *sampling.Group, recollect func() *sampli
 	if t.metrics == nil && t.tracer == nil {
 		return t.localizeDegraded(g, recollect)
 	}
-	end := obs.StartSpan(t.tracer, "core", "localize")
+	sp, owned := t.beginRound()
+	end := obs.StartSpan(t.cb, "core", "localize")
 	start := time.Now()
 	est := t.localizeDegraded(g, recollect)
 	if m := t.metrics; m != nil {
@@ -436,12 +509,15 @@ func (t *Tracker) LocalizeGroupRetry(g *sampling.Group, recollect func() *sampli
 		}
 	}
 	if est.FellBack {
-		obs.Emit(t.tracer, "core", "matcher_fallback", est.Similarity)
+		obs.Emit(t.cb, "core", "matcher_fallback", est.Similarity)
 	}
 	if est.Degraded {
-		obs.Emit(t.tracer, "core", "degraded", est.StarFraction())
+		obs.Emit(t.cb, "core", "degraded", est.StarFraction())
 	}
 	end()
+	if owned {
+		t.endRound(&sp, est)
+	}
 	return est
 }
 
@@ -457,9 +533,11 @@ func (t *Tracker) localizeDegraded(g *sampling.Group, recollect func() *sampling
 		return est
 	}
 	est.Degraded = true
+	t.rec.RecordEvent(t.round, "core", "degraded", est.StarFraction())
 	face := t.prev
 	if recollect != nil {
 		est.Retried = true
+		t.rec.RecordEvent(t.round, "core", "retry", est.StarFraction())
 		if g2 := recollect(); g2 != nil {
 			est2 := t.localizeGroup(g2)
 			if est2.StarFraction() < est.StarFraction() {
@@ -491,6 +569,7 @@ func (t *Tracker) localizeDegraded(g *sampling.Group, recollect func() *sampling
 			est.Extrapolated = true
 		}
 		if est.Extrapolated {
+			t.rec.RecordEvent(t.round, "core", "extrapolated", float64(t.histN))
 			// Warm-start the next round where we believe the target is,
 			// not at the noise-matched face.
 			if f := t.div.FaceAt(est.Pos); f != nil {
@@ -520,7 +599,21 @@ func (t *Tracker) localizeGroup(g *sampling.Group) Estimate {
 	} else {
 		v = g.Vector()
 	}
-	r := t.matcher.Match(v, t.prev)
+	var r match.Result
+	if t.rec == nil {
+		r = t.matcher.Match(v, t.prev)
+	} else {
+		msp := t.rec.Start(t.round, "match", "match")
+		r = t.matcher.Match(v, t.prev)
+		msp.Attr("visited", float64(r.Visited))
+		if math.IsInf(r.Similarity, 1) {
+			msp.Flag("exact", true)
+		} else {
+			msp.Attr("similarity", r.Similarity)
+		}
+		msp.Flag("fellback", r.FellBack)
+		msp.End()
+	}
 	t.prev = r.Face
 	return Estimate{
 		Pos:        r.Estimate,

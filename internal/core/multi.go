@@ -9,6 +9,7 @@ import (
 
 	"fttt/internal/field"
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/sampling"
 )
@@ -195,6 +196,11 @@ type LocalizeRequest struct {
 	Pos geom.Point
 	// Rng drives the sampling noise when Group is nil; required then.
 	Rng *randx.Stream
+	// Span, when valid, is the request's trace context: the round span
+	// parents under it and the batch span links to it, so one serving
+	// request yields a full causal tree (DESIGN.md §12). Zero is fine —
+	// the round then starts its own trace (or none, with no recorder).
+	Span obs.SpanRef
 }
 
 // LocalizeBatch localizes a heterogeneous batch of requests, fanning
@@ -226,20 +232,36 @@ func (m *MultiTracker) LocalizeBatch(reqs []LocalizeRequest, workers int) ([]Est
 		byTarget[r.ID] = append(byTarget[r.ID], i)
 	}
 	ests := make([]Estimate, len(reqs))
+	// The batch span records how the micro-batcher coalesced this round
+	// and links each member request's span, tying the per-request causal
+	// trees to the execution that actually served them. rec is shared by
+	// every per-target clone (they all derive it from base.Tracer).
+	rec := m.shared.rec
+	batchSpan := rec.Start(obs.SpanRef{}, "core", "localize_batch")
+	if rec != nil {
+		batchSpan.Attr("requests", float64(len(reqs)))
+		batchSpan.Attr("targets", float64(len(order)))
+		for i := range reqs {
+			rec.Link(batchSpan.Ref(), reqs[i].Span)
+		}
+	}
 	fanOut(len(order), workers, func(ti int) {
 		id := order[ti]
 		ts := states[id]
 		ts.mu.Lock()
 		for _, ri := range byTarget[id] {
 			r := reqs[ri]
+			ts.tr.SetRequestSpan(r.Span)
 			if r.Group != nil {
 				ests[ri] = ts.tr.LocalizeGroup(r.Group)
 			} else {
 				ests[ri] = ts.tr.Localize(r.Pos, r.Rng)
 			}
 		}
+		ts.tr.SetRequestSpan(obs.SpanRef{})
 		ts.mu.Unlock()
 	})
+	batchSpan.End()
 	return ests, nil
 }
 

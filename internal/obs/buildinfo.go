@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo describes the running binary, resolved from the Go
+// build-info section (module version + embedded VCS stamps).
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit, "unknown" when the binary was built
+	// outside a checkout (e.g. `go test` binaries).
+	Revision string
+	// Modified reports uncommitted changes at build time.
+	Modified bool
+}
+
+// Build resolves the binary's build info with "unknown" fallbacks, so
+// callers can log/export it unconditionally.
+func Build() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders a one-line summary for startup logs.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("version=%s go=%s revision=%s", b.Version, b.GoVersion, rev)
+}
+
+// RegisterBuildInfo exports the binary's build info on r as the
+// constant gauge
+//
+//	fttt_build_info{version="...",goversion="...",revision="..."} 1
+//
+// — the Prometheus convention for joining build metadata onto other
+// series — and returns the resolved info for logging.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	b := Build()
+	name := fmt.Sprintf(`fttt_build_info{version=%q,goversion=%q,revision=%q}`,
+		b.Version, b.GoVersion, b.Revision)
+	r.Gauge(name).Set(1)
+	return b
+}

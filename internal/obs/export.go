@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Trace exporters: JSONL (one Record per line — the native recording
+// format fttt-trace reads) and the Chrome trace-event format that
+// chrome://tracing and https://ui.perfetto.dev load directly.
+
+// WriteJSONL writes records as one JSON object per line.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("obs: record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL recording (blank lines are skipped).
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array.
+// Timestamps and durations are microseconds; tid carries the trace ID
+// so each causal tree renders as its own track.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts records into the Chrome trace-event format
+// ({"traceEvents": [...]}): spans become complete ("X") events, events
+// and links become instants ("i"), and every trace ID gets its own
+// thread track. The output loads directly in Perfetto.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	events := make([]chromeEvent, 0, len(recs)+2)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 1,
+		Args: map[string]any{"name": "fttt"},
+	})
+	seenTraces := map[TraceID]bool{}
+	for _, rec := range recs {
+		if !seenTraces[rec.Trace] {
+			seenTraces[rec.Trace] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: uint64(rec.Trace),
+				Args: map[string]any{"name": fmt.Sprintf("trace %d", rec.Trace)},
+			})
+		}
+		ev := chromeEvent{
+			Name: rec.Component + "/" + rec.Name,
+			Cat:  rec.Component,
+			TS:   float64(rec.Start.UnixNano()) / 1e3,
+			PID:  1,
+			TID:  uint64(rec.Trace),
+		}
+		args := map[string]any{"span": rec.Span}
+		if rec.Parent != 0 {
+			args["parent"] = rec.Parent
+		}
+		switch rec.Kind {
+		case KindSpan:
+			ev.Phase = "X"
+			ev.Dur = float64(rec.Dur.Nanoseconds()) / 1e3
+			if ev.Dur <= 0 {
+				ev.Dur = 0.001 // zero-width slices are dropped by some viewers
+			}
+			for _, a := range rec.Attrs {
+				if a.Str != "" {
+					args[a.Key] = a.Str
+				} else {
+					args[a.Key] = a.Num
+				}
+			}
+		case KindEvent:
+			ev.Phase = "i"
+			ev.Scope = "t"
+			args["value"] = rec.Value
+		case KindLink:
+			ev.Phase = "i"
+			ev.Scope = "p"
+			ev.Name = "link → trace " + strconv.FormatUint(uint64(rec.LinkTrace), 10)
+			args["linkTrace"] = rec.LinkTrace
+			args["linkSpan"] = rec.LinkSpan
+		default:
+			continue
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fttt/internal/field"
 	"fttt/internal/geom"
 	"fttt/internal/match"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/sampling"
@@ -92,6 +93,12 @@ func Suite() []Scenario {
 			Summary: "in-process serving round-trip, GOMAXPROCS concurrent clients over 4 targets (batches coalesce)",
 			MapsTo:  "DESIGN.md §10 micro-batcher coalescing",
 			setup:   func(sc Scenario) (*instance, error) { return setupServe(sc, 0, true) },
+		},
+		{
+			Name: "obs/trace-overhead", Kind: KindMacro, Seed: 7,
+			Summary: "core/localize with a flight recorder attached (ring-buffer spans + attrs per round)",
+			MapsTo:  "DESIGN.md §12 tracing overhead contract (compare against core/localize)",
+			setup:   setupTraceOverhead,
 		},
 	}
 }
@@ -213,6 +220,29 @@ func setupHeuristicMatch(sc Scenario) (*instance, error) {
 
 func setupLocalize(sc Scenario) (*instance, error) {
 	tr, err := core.New(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	var n int
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			sink = tr.Localize(geom.Pt(40, 60), rng.SplitN("loc", n))
+			n++
+		}
+	}}, nil
+}
+
+// setupTraceOverhead is setupLocalize with a flight recorder installed:
+// the scenario prices the enabled tracing path (round span + sampling
+// span + match span + attrs into the lock-free ring) so the §12
+// overhead contract stays measured. Compare medians against
+// core/localize — same seed, same fixture — to read the overhead.
+func setupTraceOverhead(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	cfg.Tracer = obs.NewRecorder(obs.DefaultRecorderCap)
+	tr, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}

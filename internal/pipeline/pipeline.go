@@ -171,7 +171,10 @@ func (s *Service) RunFunc(target mobility.Model, duration float64, rng *randx.St
 			if i == 0 {
 				dt = 0
 			}
+			endSmooth := obs.StartSpan(s.cfg.Tracer, "filter", "smooth")
 			final = s.cfg.Smoother.Update(raw, dt)
+			endSmooth()
+			obs.Emit(s.cfg.Tracer, "filter", "residual", raw.Dist(final))
 		}
 		fn(Update{
 			T:            t,

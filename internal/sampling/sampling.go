@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
 	"fttt/internal/vector"
@@ -92,6 +93,14 @@ type Sampler struct {
 	// before Sample. internal/faults provides the deterministic
 	// scenario-script implementation (DESIGN.md §9).
 	Faults SampleFaults
+	// Trace, when non-nil, records fault injections (report drops, RSS
+	// bias) as structured trace events so failures land on the same
+	// timeline as the estimate they corrupted (DESIGN.md §12). Recording
+	// never consumes randomness, so traced draws stay byte-identical.
+	Trace *obs.Recorder
+	// TraceSpan parents the emitted events — the current collection
+	// span. The owner of the sampler sets it around each Sample call.
+	TraceSpan obs.SpanRef
 }
 
 // SampleFaults intercepts the ideal sampler's failure processes; it is
@@ -129,6 +138,7 @@ func (s *Sampler) Sample(pos geom.Point, k int, rng *randx.Stream) *Group {
 		g.Reported[i] = inRange && !loss.Bernoulli(s.ReportLoss)
 		if g.Reported[i] && s.Faults != nil && s.Faults.DropReport(i, loss) {
 			g.Reported[i] = false
+			s.Trace.RecordEvent(s.TraceSpan, "faults", "report_dropped", float64(i))
 		}
 		if !g.Reported[i] {
 			continue
@@ -148,6 +158,14 @@ func (s *Sampler) Sample(pos geom.Point, k int, rng *randx.Stream) *Group {
 		if s.Faults != nil {
 			for t := 0; t < k; t++ {
 				g.RSS[t][i] = s.Faults.PerturbRSS(i, g.RSS[t][i])
+			}
+			if s.Trace != nil {
+				// PerturbRSS is a pure additive bias (drift + skew), so
+				// probing with 0 reveals this node's current corruption
+				// without consuming randomness or perturbing the draws.
+				if bias := s.Faults.PerturbRSS(i, 0); bias != 0 {
+					s.Trace.RecordEvent(s.TraceSpan, "faults", "rss_bias", bias)
+				}
 			}
 		}
 	}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"fttt/internal/obs"
+)
+
+// Flight recorder debug endpoint (DESIGN.md §12):
+//
+//	GET /v1/sessions/{id}/debug/trace              — last-N rounds, digested
+//	GET /v1/sessions/{id}/debug/trace?format=jsonl — raw records, one per line
+//	GET /v1/sessions/{id}/debug/trace?format=chrome — Perfetto-loadable
+//
+// The digested view reconstructs each surviving localization round from
+// the ring: the per-stage spans (collection, match), the fault and
+// degradation events, and the outcome attributes the round span carries.
+
+// traceStageWire is one per-stage span of a round.
+type traceStageWire struct {
+	Component string  `json:"component"`
+	Name      string  `json:"name"`
+	DurMs     float64 `json:"durMs"`
+}
+
+// traceEventWire is one instantaneous event of a round (fault
+// injections, degradation decisions).
+type traceEventWire struct {
+	Component string  `json:"component"`
+	Name      string  `json:"name"`
+	Value     float64 `json:"value"`
+}
+
+// traceRoundWire digests one localization round's causal tree.
+type traceRoundWire struct {
+	Trace  obs.TraceID `json:"trace"`
+	Target string      `json:"target,omitempty"`
+	Seq    uint64      `json:"seq"`
+	Start  time.Time   `json:"start"`
+	DurMs  float64     `json:"durMs"`
+
+	StarFraction float64 `json:"starFraction"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	Retried      bool    `json:"retried,omitempty"`
+	Extrapolated bool    `json:"extrapolated,omitempty"`
+
+	Stages []traceStageWire `json:"stages"`
+	Events []traceEventWire `json:"events,omitempty"`
+}
+
+// traceDebugWire is the digested flight-recorder response.
+type traceDebugWire struct {
+	Session  string           `json:"session"`
+	Capacity int              `json:"capacity"`
+	Appended uint64           `json:"appended"`
+	Dropped  uint64           `json:"dropped"`
+	Rounds   []traceRoundWire `json:"rounds"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if sess.rec == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("serve: tracing disabled for this server (set Config.TraceRecords)"))
+		return
+	}
+	recs := sess.rec.Records()
+	switch format := r.URL.Query().Get("format"); format {
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		obs.WriteJSONL(w, recs) //nolint:errcheck // client gone; nothing to do
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		obs.WriteChromeTrace(w, recs) //nolint:errcheck // client gone; nothing to do
+	case "", "rounds":
+		writeJSON(w, http.StatusOK, traceDebugWire{
+			Session:  sess.id,
+			Capacity: sess.rec.Cap(),
+			Appended: sess.rec.Appended(),
+			Dropped:  sess.rec.Dropped(),
+			Rounds:   digestRounds(recs),
+		})
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown trace format %q (want rounds, jsonl, or chrome)", format))
+	}
+}
+
+// digestRounds reconstructs per-round summaries from the raw ring. A
+// round is a trace rooted at a "serve"/"request" span (requests still in
+// flight, or whose root was overwritten by the ring, are skipped).
+func digestRounds(recs []obs.Record) []traceRoundWire {
+	byTrace := make(map[obs.TraceID][]obs.Record)
+	for _, rec := range recs {
+		byTrace[rec.Trace] = append(byTrace[rec.Trace], rec)
+	}
+	rounds := make([]traceRoundWire, 0, len(byTrace))
+	for trace, members := range byTrace {
+		var root *obs.Record
+		for i := range members {
+			m := &members[i]
+			if m.Kind == obs.KindSpan && m.Parent == 0 &&
+				m.Component == "serve" && m.Name == "request" {
+				root = m
+				break
+			}
+		}
+		if root == nil {
+			continue
+		}
+		round := traceRoundWire{
+			Trace: trace,
+			Start: root.Start,
+			DurMs: float64(root.Dur.Nanoseconds()) / 1e6,
+		}
+		for _, a := range root.Attrs {
+			switch a.Key {
+			case "target":
+				round.Target = a.Str
+			case "seq":
+				round.Seq = uint64(a.Num)
+			}
+		}
+		for _, m := range members {
+			switch m.Kind {
+			case obs.KindSpan:
+				if m.Span == root.Span {
+					continue
+				}
+				round.Stages = append(round.Stages, traceStageWire{
+					Component: m.Component,
+					Name:      m.Name,
+					DurMs:     float64(m.Dur.Nanoseconds()) / 1e6,
+				})
+				if m.Component == "core" && m.Name == "localize" {
+					for _, a := range m.Attrs {
+						switch a.Key {
+						case "star_fraction":
+							round.StarFraction = a.Num
+						case "degraded":
+							round.Degraded = a.Num != 0
+						case "retried":
+							round.Retried = a.Num != 0
+						case "extrapolated":
+							round.Extrapolated = a.Num != 0
+						}
+					}
+				}
+			case obs.KindEvent:
+				round.Events = append(round.Events, traceEventWire{
+					Component: m.Component,
+					Name:      m.Name,
+					Value:     m.Value,
+				})
+			}
+		}
+		rounds = append(rounds, round)
+	}
+	sort.Slice(rounds, func(i, j int) bool {
+		if !rounds[i].Start.Equal(rounds[j].Start) {
+			return rounds[i].Start.Before(rounds[j].Start)
+		}
+		return rounds[i].Trace < rounds[j].Trace
+	})
+	return rounds
+}

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fttt/internal/obs"
+)
+
+// TestFlightRecorderEndpoint drives a faulted session end to end and
+// reads the flight recorder back through every format of
+// GET /v1/sessions/{id}/debug/trace.
+func TestFlightRecorderEndpoint(t *testing.T) {
+	srv := New(Config{TraceRecords: 512})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// A session whose every round carries RSS bias (drift + skew) so the
+	// recording is guaranteed to hold fault events.
+	sc := testConfig(7)
+	sc.Faults = "drift sigma=0.05\nskew max=0.01"
+	sc.FaultSeed = 11
+	resp := postJSON(t, client, ts.URL+"/v1/sessions", sc)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create: status %d: %s", resp.StatusCode, body)
+	}
+	sw := decodeBody[sessionWire](t, resp)
+
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		resp = postJSON(t, client, ts.URL+"/v1/sessions/"+sw.ID+"/localize",
+			LocalizeWire{Target: "alpha", X: 20 + float64(i), Y: 30})
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("localize %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		resp.Body.Close()
+	}
+
+	// Digested view: every completed round, in order, with stages and
+	// fault events.
+	resp, err := client.Get(ts.URL + "/v1/sessions/" + sw.ID + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := decodeBody[traceDebugWire](t, resp)
+	if dw.Session != sw.ID || dw.Capacity != 512 {
+		t.Fatalf("debug header: %+v", dw)
+	}
+	if len(dw.Rounds) != rounds {
+		t.Fatalf("digested %d rounds, want %d", len(dw.Rounds), rounds)
+	}
+	var faultEvents int
+	for i, r := range dw.Rounds {
+		if r.Target != "alpha" || r.Seq != uint64(i) {
+			t.Errorf("round %d: target %q seq %d", i, r.Target, r.Seq)
+		}
+		var stages []string
+		for _, st := range r.Stages {
+			stages = append(stages, st.Component+"/"+st.Name)
+		}
+		joined := strings.Join(stages, " ")
+		for _, want := range []string{"core/localize", "sampling/sample", "match/match"} {
+			if !strings.Contains(joined, want) {
+				t.Errorf("round %d stages %q missing %s", i, joined, want)
+			}
+		}
+		for _, ev := range r.Events {
+			if ev.Component == "faults" {
+				faultEvents++
+			}
+		}
+	}
+	if faultEvents == 0 {
+		t.Error("faulted session recorded no faults/* events")
+	}
+
+	// Raw JSONL round-trips through the exporter's reader.
+	resp, err = client.Get(ts.URL + "/v1/sessions/" + sw.ID + "/debug/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("jsonl content type %q", ct)
+	}
+	recs, err := obs.ReadJSONL(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("jsonl export empty")
+	}
+	// Batch spans live in their own traces and link the request spans
+	// they coalesced (they are not children of any round).
+	var batchSpans, links int
+	for _, r := range recs {
+		switch {
+		case r.Kind == obs.KindSpan && r.Component == "core" && r.Name == "localize_batch":
+			batchSpans++
+		case r.Kind == obs.KindLink:
+			links++
+		}
+	}
+	if batchSpans == 0 || links == 0 {
+		t.Errorf("raw recording: %d localize_batch spans, %d links, want both > 0", batchSpans, links)
+	}
+
+	// Chrome export is valid JSON with a traceEvents array.
+	resp, err = client.Get(ts.URL + "/v1/sessions/" + sw.ID + "/debug/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export has no traceEvents")
+	}
+
+	// Unknown format: 400.
+	resp, err = client.Get(ts.URL + "/v1/sessions/" + sw.ID + "/debug/trace?format=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus format: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFlightRecorderDisabled pins the no-tracing default: the endpoint
+// 404s with a hint instead of returning an empty recording.
+func TestFlightRecorderDisabled(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	resp := postJSON(t, client, ts.URL+"/v1/sessions", testConfig(3))
+	sw := decodeBody[sessionWire](t, resp)
+	resp = postJSON(t, client, ts.URL+"/v1/sessions/"+sw.ID+"/localize",
+		LocalizeWire{Target: "alpha", X: 20, Y: 30})
+	resp.Body.Close()
+
+	resp, err := client.Get(ts.URL + "/v1/sessions/" + sw.ID + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled tracing: status %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "TraceRecords") {
+		t.Errorf("404 body should hint at Config.TraceRecords: %s", body)
+	}
+}
+
+// TestFlightRecorderFaultedWireConfig pins that the wire-level fault
+// script actually reaches the tracker: a malformed script must fail
+// session creation, not be silently ignored.
+func TestFlightRecorderFaultedWireConfig(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sc := testConfig(3)
+	sc.Faults = "not a fault script"
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/sessions", sc)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed fault script: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,8 +1,10 @@
 package loadtest
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"testing"
 	"time"
 
@@ -26,12 +28,51 @@ func localizeLatency(reg *obs.Registry) *obs.Histogram {
 		obs.ExpBuckets(1e-4, 2, 16))
 }
 
+// dumpTraceArtifact fetches the session's raw trace recording and
+// writes it to the path named by FTTT_TRACE_OUT — CI uploads the file
+// as a build artifact so a failed or slow load-test run ships its own
+// flight recording. A no-op when the variable is unset.
+func dumpTraceArtifact(t *testing.T, client *http.Client, baseURL, id string) {
+	t.Helper()
+	path := os.Getenv("FTTT_TRACE_OUT")
+	if path == "" {
+		return
+	}
+	resp, err := client.Get(baseURL + "/v1/sessions/" + id + "/debug/trace?format=jsonl")
+	if err != nil {
+		t.Errorf("trace artifact: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("trace artifact: status %d", resp.StatusCode)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Errorf("trace artifact: %v", err)
+		return
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		t.Errorf("trace artifact: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("trace artifact: %v", err)
+		return
+	}
+	t.Logf("trace artifact written to %s", path)
+}
+
 // TestLoadNoFaultPath is the happy-path load test: concurrent clients
 // over real HTTP, zero shedding, zero timeouts, every response body
 // byte-identical to the unbatched serial reference, and p99 localize
-// latency under a generous bound.
+// latency under a generous bound. The server runs with its flight
+// recorder on, so the byte-identity check doubles as the
+// tracing-does-not-perturb-estimates contract under real concurrency.
 func TestLoadNoFaultPath(t *testing.T) {
-	srv := serve.New(serve.Config{})
+	srv := serve.New(serve.Config{TraceRecords: 4096})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -50,6 +91,7 @@ func TestLoadNoFaultPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.CloseSession(id)
+	dumpTraceArtifact(t, ts.Client(), ts.URL, id)
 
 	total := cfg.Clients * cfg.Requests
 	if res.OK != total || res.Shed != 0 || res.Deadline != 0 || res.Other != 0 {

@@ -6,7 +6,7 @@ import "fttt/internal/obs"
 // histograms (fttt_serve_requests_total{route=...},
 // fttt_serve_request_seconds{route=...}).
 var routes = []string{
-	"create", "list", "get", "close", "localize", "reports", "estimate", "stream",
+	"create", "list", "get", "close", "localize", "reports", "estimate", "stream", "trace",
 }
 
 // metrics caches the serving-layer metric handles, resolved once at

@@ -61,6 +61,12 @@ type Config struct {
 	// Obs receives the serving metrics (and is exposed at /metrics); nil
 	// creates a private registry.
 	Obs *obs.Registry
+	// TraceRecords, when positive, attaches a flight recorder to every
+	// session: a bounded ring keeping the last TraceRecords trace records
+	// (spans, events, links — DESIGN.md §12), exposed at
+	// GET /v1/sessions/{id}/debug/trace. 0 disables tracing entirely —
+	// the serving path then carries only nil checks.
+	TraceRecords int
 	// Hooks are test seams; zero in production.
 	Hooks Hooks
 }
@@ -132,6 +138,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/reports", s.route("reports", s.handleReports))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates/{target}", s.route("estimate", s.handleEstimate))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.route("stream", s.handleStream))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/debug/trace", s.route("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", obs.Handler(reg))
 	return s
@@ -168,12 +175,20 @@ func (s *Server) CreateSession(sc SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	cfg.Obs = s.reg
+	var rec *obs.Recorder
+	if s.cfg.TraceRecords > 0 {
+		// The flight recorder rides cfg.Tracer into every per-target
+		// tracker clone; MultiTracer keeps any callback tracer working
+		// alongside it.
+		rec = obs.NewRecorder(s.cfg.TraceRecords)
+		cfg.Tracer = obs.NewMultiTracer(cfg.Tracer, rec)
+	}
 	mt, err := core.NewMulti(cfg)
 	if err != nil {
 		return nil, err
 	}
 	id := fmt.Sprintf("s%d", s.nextID.Add(1))
-	sess := newSession(id, s, cfg, mt, sc.Seed)
+	sess := newSession(id, s, cfg, mt, sc.Seed, rec)
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()

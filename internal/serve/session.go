@@ -10,6 +10,7 @@ import (
 
 	"fttt/internal/core"
 	"fttt/internal/geom"
+	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/sampling"
 )
@@ -63,6 +64,7 @@ type Session struct {
 	cfg  core.Config
 	mt   *core.MultiTracker
 	root *randx.Stream // immutable seed root; Split is concurrency-safe
+	rec  *obs.Recorder // flight recorder; nil when tracing is disabled
 
 	mu     sync.Mutex
 	seq    map[string]uint64 // per-target request counter (rng index)
@@ -86,13 +88,14 @@ type subscriber struct {
 	target string // "" = all targets
 }
 
-func newSession(id string, srv *Server, cfg core.Config, mt *core.MultiTracker, seed uint64) *Session {
+func newSession(id string, srv *Server, cfg core.Config, mt *core.MultiTracker, seed uint64, rec *obs.Recorder) *Session {
 	s := &Session{
 		id:      id,
 		srv:     srv,
 		cfg:     cfg,
 		mt:      mt,
 		root:    randx.New(seed),
+		rec:     rec,
 		seq:     make(map[string]uint64),
 		latest:  make(map[string]EstimateWire),
 		in:      make(chan *request, srv.cfg.QueueLimit),
@@ -185,18 +188,31 @@ func (s *Session) submit(ctx context.Context, target string, mk func(n uint64) c
 	r.seq = s.seq[target]
 	s.seq[target] = r.seq + 1
 	r.creq = mk(r.seq)
+	// The request's root span: the whole causal tree of this call — the
+	// batcher's round span parents under it, the batch span links to it.
+	// Inert (nil recorder) this is a pointer check.
+	sp := s.rec.Start(obs.SpanRef{}, "serve", "request")
+	if sp.Active() {
+		sp.AttrStr("target", target)
+		sp.Attr("seq", float64(r.seq))
+		r.creq.Span = sp.Ref()
+	}
 	s.in <- r
 	s.mu.Unlock()
 	s.srv.met.queueDepth.Add(1)
 
 	select {
 	case resp := <-r.done:
+		sp.Flag("error", resp.err != nil)
+		sp.End()
 		if resp.err != nil {
 			return Result{}, resp.err
 		}
 		return Result{Seq: r.seq, Estimate: resp.est}, nil
 	case <-ctx.Done():
 		r.canceled.Store(true)
+		sp.Flag("deadline", true)
+		sp.End()
 		s.srv.met.timeouts.Inc()
 		return Result{}, ErrDeadline
 	}

@@ -7,6 +7,7 @@ import (
 
 	"fttt/internal/core"
 	"fttt/internal/deploy"
+	"fttt/internal/faults"
 	"fttt/internal/geom"
 	"fttt/internal/randx"
 	"fttt/internal/rf"
@@ -61,6 +62,15 @@ type SessionConfig struct {
 	StarFractionLimit float64 `json:"starFractionLimit,omitempty"`
 	RetryBackoff      float64 `json:"retryBackoff,omitempty"`
 	Exhaustive        bool    `json:"exhaustive,omitempty"`
+
+	// Faults is an inline fault-scenario script (internal/faults
+	// directive syntax, e.g. "crash at=0 frac=0.3"); empty disables
+	// injection. Only inline text is accepted — the wire never reads
+	// server-side files.
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed roots the fault scheduler's random choices; meaningful
+	// only with Faults set.
+	FaultSeed uint64 `json:"faultSeed,omitempty"`
 }
 
 // CoreConfig resolves the wire config into a validated core.Config.
@@ -131,6 +141,14 @@ func (sc SessionConfig) CoreConfig() (core.Config, error) {
 		cfg.Variant = core.Extended
 	default:
 		return core.Config{}, fmt.Errorf("serve: unknown variant %q (want basic or extended)", sc.Variant)
+	}
+	if sc.Faults != "" {
+		script, err := faults.Parse(sc.Faults)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("serve: bad faults script: %w", err)
+		}
+		cfg.FaultScript = script
+		cfg.FaultSeed = sc.FaultSeed
 	}
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
