@@ -9,8 +9,13 @@
 //
 //	fttt-serve -addr :8080
 //	fttt-serve -addr 127.0.0.1:0 -max-batch 32 -batch-wait 1ms -queue 512
+//	fttt-serve -field-cache-dir /var/lib/fttt/fieldcache
 //
-// See the README's "Serving" section for a curl walkthrough of the API.
+// Sessions share preprocessed field divisions through a
+// content-addressed cache (internal/fieldcache); -field-cache-dir
+// persists built divisions so a restarted server warm-starts without
+// re-dividing. See the README's "Serving" section for a curl
+// walkthrough of the API and the warm-restart flow.
 package main
 
 import (
@@ -24,31 +29,42 @@ import (
 	"syscall"
 	"time"
 
+	"fttt/internal/fieldcache"
 	"fttt/internal/obs"
 	"fttt/internal/serve"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		maxBatch     = flag.Int("max-batch", 0, "micro-batch size ceiling (0 = default 16)")
-		batchWait    = flag.Duration("batch-wait", 0, "max wait for batch stragglers (0 = default 2ms)")
-		queue        = flag.Int("queue", 0, "per-session admission queue limit (0 = default 256)")
-		timeout      = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
-		workers      = flag.Int("workers", 0, "batch worker pool size (0 = CPU count)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
-		traceRecords = flag.Int("trace-records", 0, "per-session flight-recorder capacity in trace records (0 = tracing off)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxBatch      = flag.Int("max-batch", 0, "micro-batch size ceiling (0 = default 16)")
+		batchWait     = flag.Duration("batch-wait", 0, "max wait for batch stragglers (0 = default 2ms)")
+		queue         = flag.Int("queue", 0, "per-session admission queue limit (0 = default 256)")
+		timeout       = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
+		workers       = flag.Int("workers", 0, "batch worker pool size (0 = CPU count)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		traceRecords  = flag.Int("trace-records", 0, "per-session flight-recorder capacity in trace records (0 = tracing off)")
+		fieldCacheDir = flag.String("field-cache-dir", "", "directory persisting preprocessed field divisions across restarts (empty = in-memory only)")
+		fieldCacheMax = flag.Int("field-cache-max", 0, "max resident cached divisions, LRU-evicted when unpinned (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout, *traceRecords); err != nil {
+	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout, *traceRecords, *fieldCacheDir, *fieldCacheMax); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration, traceRecords int) error {
+func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration, traceRecords int, fieldCacheDir string, fieldCacheMax int) error {
 	reg := obs.NewRegistry()
 	build := obs.RegisterBuildInfo(reg)
+	fcache, err := fieldcache.New(fieldcache.Config{
+		Dir:        fieldCacheDir,
+		MaxEntries: fieldCacheMax,
+		Obs:        reg,
+	})
+	if err != nil {
+		return err
+	}
 	srv := serve.New(serve.Config{
 		MaxBatch:       maxBatch,
 		MaxWait:        batchWait,
@@ -57,6 +73,7 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 		RequestTimeout: timeout,
 		Obs:            reg,
 		TraceRecords:   traceRecords,
+		FieldCache:     fcache,
 	})
 	mux := http.NewServeMux()
 	obs.Register(mux, reg)
@@ -73,6 +90,9 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 	fmt.Fprintf(os.Stderr, "fttt-serve: listening on http://%s (metrics at /metrics)\n", ln.Addr())
 	if traceRecords > 0 {
 		fmt.Fprintf(os.Stderr, "fttt-serve: flight recorder on (last %d records per session at /v1/sessions/{id}/debug/trace)\n", traceRecords)
+	}
+	if fieldCacheDir != "" {
+		fmt.Fprintf(os.Stderr, "fttt-serve: field-division cache spilling to %s\n", fieldCacheDir)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -74,6 +74,21 @@ type Config struct {
 	// CellSize is the approximate-grid-division cell edge in metres
 	// (Sec. 4.3); 0 selects 1 m.
 	CellSize float64
+	// DivideWorkers is the worker count for the construction-time
+	// signature pass (field.DivideWorkers): 0 keeps the serial path,
+	// negative selects runtime.NumCPU(), positive is taken literally.
+	// The division is byte-identical for every setting — this is purely
+	// a construction-latency knob, which the serving layer sets to the
+	// CPU count so cold field-cache misses build in parallel.
+	DivideWorkers int
+	// Divider, when non-nil, supplies the preprocessed division for the
+	// given build spec instead of New building a private one — the seam
+	// the shared field-index cache (internal/fieldcache) plugs in so
+	// every session on one deployment shares a single immutable
+	// arrangement. The returned division must have been built from an
+	// equivalent spec; NewWithDivision's dimension guard fails fast on
+	// gross mismatches.
+	Divider func(spec field.Spec) (*field.Division, error)
 	// Variant selects Basic or Extended sampling vectors.
 	Variant Variant
 	// Exhaustive forces the O(n⁴) ergodic matcher instead of the
@@ -220,35 +235,70 @@ func newTrackerMetrics(r *obs.Registry) *trackerMetrics {
 	}
 }
 
-// New preprocesses the field division and returns a Tracker.
+// New preprocesses the field division and returns a Tracker. The
+// division comes from cfg.Divider when one is set (the shared
+// field-index cache path); otherwise New builds a private one with
+// cfg.DivideWorkers signature-pass workers (0 = serial).
 func New(cfg Config) (*Tracker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cell := cfg.CellSize
-	if cell == 0 {
-		cell = 1
+	spec := cfg.DivisionSpec()
+	var div *field.Division
+	var err error
+	if cfg.Divider != nil {
+		div, err = cfg.Divider(spec)
+	} else {
+		div, err = spec.Divide()
 	}
-	c := cfg.UncertaintyC()
-	rc, err := field.NewRatioClassifier(cfg.Nodes, c)
-	if err != nil {
-		return nil, err
-	}
-	div, err := field.Divide(cfg.Field, rc, cell)
 	if err != nil {
 		return nil, err
 	}
 	return NewWithDivision(cfg, div)
 }
 
+// DivisionSpec resolves the configuration into the field-division build
+// spec: the content-addressable identity (field rect, nodes,
+// uncertainty constant, cell size) plus the worker knob. Everything the
+// division depends on flows through here — it is the cache key
+// derivation of DESIGN.md §13.
+func (c Config) DivisionSpec() field.Spec {
+	cell := c.CellSize
+	if cell == 0 {
+		cell = 1
+	}
+	workers := c.DivideWorkers
+	if workers == 0 {
+		workers = 1 // serial default; field.Spec treats ≤0 as NumCPU
+	}
+	return field.Spec{
+		Field:    c.Field,
+		Nodes:    c.Nodes,
+		C:        c.UncertaintyC(),
+		CellSize: cell,
+		Workers:  workers,
+	}
+}
+
 // NewWithDivision builds a Tracker over an existing field division —
 // several trackers (e.g. the Basic and Extended variants in a comparison
 // run) can share one preprocessed division, which dominates construction
 // cost. The division must have been built for cfg's nodes and uncertainty
-// constant; this is not re-checked.
+// constant. Full equivalence is not re-checked (that would cost a
+// re-division), but a cheap structural guard rejects gross mismatches: a
+// division with no faces, or one whose signature dimension disagrees
+// with the C(n,2) node pairs cfg.Nodes implies — the failure mode of
+// wiring a cached or loaded division to the wrong deployment.
 func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if div == nil || len(div.Faces) == 0 {
+		return nil, fmt.Errorf("core: division is empty")
+	}
+	if got, want := div.Faces[0].Signature.Dim(), vector.NumPairs(len(cfg.Nodes)); got != want {
+		return nil, fmt.Errorf("core: division signature dimension %d does not match %d nodes (want %d pairs) — division built for a different deployment",
+			got, len(cfg.Nodes), want)
 	}
 	var m match.Matcher
 	switch {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+)
+
+// localizeFingerprint runs a fixed localization sequence and returns the
+// estimates — byte-identical trackers produce equal fingerprints.
+func localizeFingerprint(t *testing.T, tr *Tracker) []Estimate {
+	t.Helper()
+	rng := randx.New(7)
+	out := make([]Estimate, 0, 20)
+	for trial := 0; trial < 20; trial++ {
+		pos := geom.Pt(rng.Uniform(10, 90), rng.Uniform(10, 90))
+		out = append(out, tr.Localize(pos, rng.SplitN("t", trial)))
+	}
+	return out
+}
+
+func sameEstimates(a, b []Estimate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].FaceID != b[i].FaceID || a[i].Similarity != b[i].Similarity {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDividerSeamSuppliesDivision(t *testing.T) {
+	cfg := defaultConfig(9)
+	calls := 0
+	var gotSpec field.Spec
+	cfg.Divider = func(spec field.Spec) (*field.Division, error) {
+		calls++
+		gotSpec = spec
+		return spec.Divide()
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("Divider called %d times, want 1", calls)
+	}
+	want := cfg.DivisionSpec()
+	if gotSpec.Key() != want.Key() {
+		t.Fatal("Divider received a spec with a different content key than DivisionSpec")
+	}
+	// Identical behavior to the private-build path.
+	ref, err := New(defaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEstimates(localizeFingerprint(t, tr), localizeFingerprint(t, ref)) {
+		t.Fatal("Divider-supplied division localizes differently from a private build")
+	}
+}
+
+func TestDividerErrorPropagates(t *testing.T) {
+	cfg := defaultConfig(9)
+	boom := errors.New("cache on fire")
+	cfg.Divider = func(field.Spec) (*field.Division, error) { return nil, boom }
+	if _, err := New(cfg); !errors.Is(err, boom) {
+		t.Fatalf("New error %v does not wrap the Divider error", err)
+	}
+}
+
+func TestDivideWorkersByteIdentical(t *testing.T) {
+	// Satellite check for the parallel construction path: the worker
+	// count is a latency knob only; every setting yields a tracker with
+	// identical estimates.
+	ref, err := New(defaultConfig(9)) // DivideWorkers 0: serial
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localizeFingerprint(t, ref)
+	for _, workers := range []int{1, 2, 3, -1} {
+		cfg := defaultConfig(9)
+		cfg.DivideWorkers = workers
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEstimates(localizeFingerprint(t, tr), want) {
+			t.Fatalf("DivideWorkers=%d changes localization results", workers)
+		}
+	}
+}
+
+func TestDivisionSpecWorkerMapping(t *testing.T) {
+	cfg := defaultConfig(9)
+	if w := cfg.DivisionSpec().Workers; w != 1 {
+		t.Fatalf("DivideWorkers=0 must map to serial (1), got %d", w)
+	}
+	cfg.DivideWorkers = 4
+	if w := cfg.DivisionSpec().Workers; w != 4 {
+		t.Fatalf("DivideWorkers=4 must pass through, got %d", w)
+	}
+	cfg.DivideWorkers = -1
+	if w := cfg.DivisionSpec().Workers; w != -1 {
+		t.Fatalf("DivideWorkers=-1 must pass through (Spec resolves to NumCPU), got %d", w)
+	}
+	// CellSize default resolves inside the spec so the cache key sees the
+	// effective value, not the sentinel.
+	cfg = defaultConfig(9)
+	cfg.CellSize = 0
+	if got := cfg.DivisionSpec().CellSize; got != 1 {
+		t.Fatalf("CellSize=0 must resolve to 1 in the spec, got %v", got)
+	}
+}
+
+func TestNewWithDivisionRejectsMismatch(t *testing.T) {
+	div, err := defaultConfig(9).DivisionSpec().Divide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong deployment: 16 nodes imply C(16,2)=120 pairs, the division
+	// has C(9,2)=36.
+	if _, err := NewWithDivision(defaultConfig(16), div); err == nil {
+		t.Fatal("division for 9 nodes accepted by a 16-node config")
+	} else if !strings.Contains(err.Error(), "signature dimension") {
+		t.Fatalf("want dimension-mismatch error, got: %v", err)
+	}
+	if _, err := NewWithDivision(defaultConfig(9), nil); err == nil {
+		t.Fatal("nil division accepted")
+	}
+	if _, err := NewWithDivision(defaultConfig(9), &field.Division{}); err == nil {
+		t.Fatal("empty division accepted")
+	}
+	// The matching deployment still works.
+	if _, err := NewWithDivision(defaultConfig(9), div); err != nil {
+		t.Fatalf("matching division rejected: %v", err)
+	}
+}

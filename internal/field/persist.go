@@ -83,7 +83,15 @@ func Load(r io.Reader) (*Division, error) {
 				return nil, fmt.Errorf("field: face %d has invalid neighbor %d", i, nb)
 			}
 		}
-		d.bySig[f.Signature.Key()] = i
+		key := f.Signature.Key()
+		if prev, dup := d.bySig[key]; dup {
+			// Lemma 1: signatures are unique per face. A duplicate means
+			// the stream is corrupt (or hand-edited); silently letting the
+			// later face win would collapse two faces into one and skew
+			// every signature lookup, so reject instead.
+			return nil, fmt.Errorf("field: faces %d and %d share a signature (corrupt division)", prev, i)
+		}
+		d.bySig[key] = i
 	}
 	for ci, id := range d.cellFace {
 		if id < 0 || id >= len(d.Faces) {

@@ -2,8 +2,11 @@ package field
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
+	"fttt/internal/deploy"
 	"fttt/internal/randx"
 	"fttt/internal/vector"
 )
@@ -90,6 +93,80 @@ func TestLoadValidatesInvariants(t *testing.T) {
 	}
 	if _, err := Load(&buf); err == nil {
 		t.Error("invalid neighbor should fail validation")
+	}
+}
+
+// TestSaveLoadRoundTripProperty is the persistence property the
+// fieldcache disk spill rests on: across seeded random deployments and
+// cell sizes, a reloaded division re-serializes to the exact bytes of
+// the original (so every derived structure — faces, centroids,
+// neighbors, diffs, raster — survived intact) and localizes every grid
+// cell to the same face.
+func TestSaveLoadRoundTripProperty(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
+			rng := randx.New(uint64(10 + trial))
+			n := 6 + trial*2
+			cell := []float64{2, 2.5, 4}[trial%3]
+			nodes := deploy.Random(fieldRect, n, rng.Split("deploy")).Positions()
+			spec := Spec{Field: fieldRect, Nodes: nodes, C: defaultC(), CellSize: cell, Workers: 1}
+			orig, err := spec.Divide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first bytes.Buffer
+			if err := orig.Save(&first); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if err := loaded.Save(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("reloaded division re-serializes differently")
+			}
+			for r := 0; r < orig.Rows; r++ {
+				for c := 0; c < orig.Cols; c++ {
+					p := orig.CellCenter(c, r)
+					if orig.FaceAt(p).ID != loaded.FaceAt(p).ID {
+						t.Fatalf("cell (%d,%d) localizes to different faces", c, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLoadRejectsDuplicateSignatures pins the corruption check: a
+// stream in which two faces carry the same signature must be rejected,
+// not silently collapsed last-wins in the signature index.
+func TestLoadRejectsDuplicateSignatures(t *testing.T) {
+	rc := gridClassifier(t, 9, defaultC())
+	div, err := Divide(fieldRect, rc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.NumFaces() < 2 {
+		t.Fatal("fixture needs at least 2 faces")
+	}
+	// Forge the corruption through the snapshot path: give face 1 face
+	// 0's signature and reserialize.
+	div.Faces[1].Signature = div.Faces[0].Signature.Clone()
+	var buf bytes.Buffer
+	if err := div.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(&buf)
+	if err == nil {
+		t.Fatal("duplicate face signatures must fail Load")
+	}
+	if !strings.Contains(err.Error(), "share a signature") {
+		t.Fatalf("want duplicate-signature error, got: %v", err)
 	}
 }
 

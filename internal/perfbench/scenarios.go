@@ -100,6 +100,12 @@ func Suite() []Scenario {
 			MapsTo:  "DESIGN.md §12 tracing overhead contract (compare against core/localize)",
 			setup:   setupTraceOverhead,
 		},
+		{
+			Name: "serve/cold-session", Kind: KindMacro, Seed: 23,
+			Summary: "session create+close against a warm field cache (division shared, no re-divide)",
+			MapsTo:  "DESIGN.md §13 shared field-index cache (cache-hit ≥10× faster than cold build)",
+			setup:   setupColdSession,
+		},
 	}
 }
 
@@ -405,4 +411,41 @@ func setupServe(sc Scenario, maxBatch int, concurrent bool) (*instance, error) {
 		lat:     lat,
 		cleanup: func() { srv.CloseSession(sess.ID()) },
 	}, nil
+}
+
+// setupColdSession measures what a new session costs on a busy server:
+// the alloc_test deployment's division is already resident in the field
+// cache (warmed outside the timed region), so each op is a full
+// CreateSession + CloseSession where the preprocessing is a cache hit —
+// matcher/sampler construction, session bring-up and teardown, but no
+// re-division. Regressions here mean either the cache stopped hitting
+// (the dominant term, a full Sec. 4.3 divide, comes back) or session
+// bring-up grew a new cost.
+func setupColdSession(sc Scenario) (*instance, error) {
+	srv := serve.New(serve.Config{})
+	scfg := serve.SessionConfig{
+		Seed:      sc.Seed,
+		Field:     &serve.RectWire{Max: serve.PointWire{X: 60, Y: 60}},
+		GridNodes: 9,
+		CellSize:  3,
+	}
+	warm, err := srv.CreateSession(scfg)
+	if err != nil {
+		return nil, err
+	}
+	srv.CloseSession(warm.ID())
+	lat := newLatencyRecorder()
+	op := func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			start := time.Now()
+			s, err := srv.CreateSession(scfg)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			srv.CloseSession(s.ID())
+			lat.observe(time.Since(start))
+		}
+	}
+	return &instance{op: op, lat: lat}, nil
 }

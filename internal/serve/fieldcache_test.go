@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fttt/internal/fieldcache"
+	"fttt/internal/geom"
+)
+
+func cacheCounter(t *testing.T, srv *Server, name string) float64 {
+	t.Helper()
+	return srv.Registry().Counter(name).Value()
+}
+
+func TestSessionsShareCachedDivision(t *testing.T) {
+	srv := New(Config{})
+	a, err := srv.CreateSession(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srv.CreateSession(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheCounter(t, srv, "fttt_fieldcache_builds_total"); got != 1 {
+		t.Fatalf("builds = %v, want 1 (second session must reuse the division)", got)
+	}
+	if got := cacheCounter(t, srv, "fttt_fieldcache_hits_total"); got != 1 {
+		t.Fatalf("hits = %v, want 1", got)
+	}
+	// Byte-identity between the cache-miss session (a) and the cache-hit
+	// session (b): same seed, same request sequence, so the wire bytes
+	// must agree exactly.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		pos := geom.Pt(10+float64(i)*8, 12+float64(i)*7)
+		ra, err := a.Localize(ctx, "t1", pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Localize(ctx, "t1", pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wa, _ := json.Marshal(WireEstimate("t1", ra.Seq, ra.Estimate))
+		wb, _ := json.Marshal(WireEstimate("t1", rb.Seq, rb.Estimate))
+		if string(wa) != string(wb) {
+			t.Fatalf("request %d: cache-hit estimate differs from cache-miss:\n%s\n%s", i, wa, wb)
+		}
+	}
+	srv.CloseSession(a.ID())
+	srv.CloseSession(b.ID())
+}
+
+func TestSessionCloseReleasesCacheEntry(t *testing.T) {
+	// With MaxEntries 1, a second deployment can only become resident
+	// after the first session's entry is unpinned by close.
+	fc, err := fieldcache.New(fieldcache.Config{MaxEntries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{FieldCache: fc})
+	a, err := srv.CreateSession(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testConfig(2)
+	other.GridNodes = 4
+	bSess, err := srv.CreateSession(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 2 {
+		t.Fatalf("Len = %d; both divisions pinned, neither evictable", fc.Len())
+	}
+	if !srv.CloseSession(a.ID()) {
+		t.Fatal("close failed")
+	}
+	if fc.Len() != 1 {
+		t.Fatalf("Len = %d after close, want 1 (released entry evicted)", fc.Len())
+	}
+	srv.CloseSession(bSess.ID())
+}
+
+// TestColdSessionCacheSpeedup pins the acceptance criterion: creating a
+// session against a warm cache must be at least 10× faster than the
+// cold build (which runs the full Sec. 4.3 division). The fixture is
+// deliberately heavier than testConfig so the cold build dominates
+// scheduler noise.
+func TestColdSessionCacheSpeedup(t *testing.T) {
+	sc := SessionConfig{
+		Seed:      3,
+		Field:     &RectWire{Min: PointWire{0, 0}, Max: PointWire{100, 100}},
+		GridNodes: 16,
+		CellSize:  2,
+	}
+	srv := New(Config{})
+
+	start := time.Now()
+	cold, err := srv.CreateSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(start)
+	srv.CloseSession(cold.ID())
+
+	warmDur := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		s, err := srv.CreateSession(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < warmDur {
+			warmDur = d
+		}
+		srv.CloseSession(s.ID())
+	}
+	if coldDur < 10*warmDur {
+		t.Fatalf("cache-hit session creation not ≥10× faster: cold %v, warm %v", coldDur, warmDur)
+	}
+	t.Logf("cold %v, warm %v (%.0f×)", coldDur, warmDur, float64(coldDur)/float64(warmDur))
+}
+
+func TestMetricsExposeFieldcacheHitRate(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, client, ts.URL+"/v1/sessions", testConfig(uint64(i+1)))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"fttt_fieldcache_hits_total 1",
+		"fttt_fieldcache_misses_total 1",
+		"fttt_fieldcache_builds_total 1",
+		"fttt_fieldcache_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The bytes gauge carries the division's estimated footprint.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "fttt_fieldcache_bytes ") {
+			if strings.TrimPrefix(line, "fttt_fieldcache_bytes ") == "0" {
+				t.Error("fttt_fieldcache_bytes is 0 with a resident division")
+			}
+			return
+		}
+	}
+	t.Error("/metrics missing fttt_fieldcache_bytes")
+}

@@ -1,10 +1,12 @@
 package loadtest
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -181,5 +183,71 @@ func TestLoadOverloadSheds(t *testing.T) {
 	}
 	if res.Statuses[http.StatusTooManyRequests] != wantShed {
 		t.Errorf("429 count %d, want %d", res.Statuses[http.StatusTooManyRequests], wantShed)
+	}
+}
+
+// TestLoadCacheArmedManySessions drives the many-sessions-one-deployment
+// shape the field cache exists for: several concurrent waves, each
+// creating its own session over the same deployment. The division must
+// build exactly once (every later session is a cache hit), and — because
+// Expected() computes its reference through an uncached core.NewMulti —
+// the byte-identity check proves a cache-hit session answers exactly
+// like an uncached build.
+func TestLoadCacheArmedManySessions(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const waves = 4
+	var wg sync.WaitGroup
+	errs := make([]error, waves)
+	for w := 0; w < waves; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := Config{
+				Clients:  2,
+				Requests: 5,
+				Seed:     uint64(100 + w),
+				// Distinct session seeds, one deployment: the cache keys on
+				// the division spec, not the session.
+				Session: testSession(uint64(1000 + w)),
+			}
+			want, err := cfg.Expected()
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			id, res, err := Run(ts.Client(), ts.URL, cfg)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer srv.CloseSession(id)
+			total := cfg.Clients * cfg.Requests
+			if res.OK != total {
+				errs[w] = fmt.Errorf("wave %d: ok=%d shed=%d deadline=%d other=%d, want %d OK (statuses %v)",
+					w, res.OK, res.Shed, res.Deadline, res.Other, total, res.Statuses)
+				return
+			}
+			errs[w] = VerifyBodies(res, want)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := srv.Registry()
+	if got := reg.Counter("fttt_fieldcache_builds_total").Value(); got != 1 {
+		t.Errorf("division builds = %v, want exactly 1 across %d sessions", got, waves)
+	}
+	if got := reg.Counter("fttt_fieldcache_hits_total").Value(); got != waves-1 {
+		t.Errorf("cache hits = %v, want %d", got, waves-1)
+	}
+	if got := reg.Counter("fttt_fieldcache_misses_total").Value(); got != 1 {
+		t.Errorf("cache misses = %v, want 1", got)
 	}
 }

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"fttt/internal/core"
+	"fttt/internal/field"
+	"fttt/internal/fieldcache"
 	"fttt/internal/geom"
 	"fttt/internal/obs"
 )
@@ -67,6 +69,13 @@ type Config struct {
 	// GET /v1/sessions/{id}/debug/trace. 0 disables tracing entirely —
 	// the serving path then carries only nil checks.
 	TraceRecords int
+	// FieldCache, when non-nil, is the shared content-addressed division
+	// cache every session's preprocessing routes through (DESIGN.md §13).
+	// nil creates a private in-memory cache wired to the server's
+	// registry — sessions still share divisions within this server, but
+	// nothing spills to disk. Pass a cache built with
+	// fieldcache.Config.Dir to warm-restart across processes.
+	FieldCache *fieldcache.Cache
 	// Hooks are test seams; zero in production.
 	Hooks Hooks
 }
@@ -103,10 +112,11 @@ func (c Config) withDefaults() Config {
 // table. Create one with New, mount it (it implements http.Handler),
 // and call Drain on shutdown.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
-	met *metrics
-	mux *http.ServeMux
+	cfg    Config
+	reg    *obs.Registry
+	met    *metrics
+	mux    *http.ServeMux
+	fcache *fieldcache.Cache
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -123,11 +133,17 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	fc := cfg.FieldCache
+	if fc == nil {
+		// A dir-less cache cannot fail construction.
+		fc, _ = fieldcache.New(fieldcache.Config{Obs: reg})
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
 		met:      newMetrics(reg),
 		mux:      http.NewServeMux(),
+		fcache:   fc,
 		sessions: make(map[string]*Session),
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.route("create", s.handleCreate))
@@ -175,6 +191,20 @@ func (s *Server) CreateSession(sc SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	cfg.Obs = s.reg
+	// All preprocessing routes through the shared field cache: sessions
+	// over one deployment share a single immutable division, built once.
+	// A cold miss builds with every CPU — the worker count does not
+	// change the division's bytes, only the build latency.
+	var release func()
+	cfg.DivideWorkers = -1
+	cfg.Divider = func(spec field.Spec) (*field.Division, error) {
+		div, rel, err := s.fcache.Acquire(spec)
+		if err != nil {
+			return nil, err
+		}
+		release = rel
+		return div, nil
+	}
 	var rec *obs.Recorder
 	if s.cfg.TraceRecords > 0 {
 		// The flight recorder rides cfg.Tracer into every per-target
@@ -185,10 +215,13 @@ func (s *Server) CreateSession(sc SessionConfig) (*Session, error) {
 	}
 	mt, err := core.NewMulti(cfg)
 	if err != nil {
+		if release != nil {
+			release() // unpin: the session never materialized
+		}
 		return nil, err
 	}
 	id := fmt.Sprintf("s%d", s.nextID.Add(1))
-	sess := newSession(id, s, cfg, mt, sc.Seed, rec)
+	sess := newSession(id, s, cfg, mt, sc.Seed, rec, release)
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()

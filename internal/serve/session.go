@@ -65,6 +65,10 @@ type Session struct {
 	mt   *core.MultiTracker
 	root *randx.Stream // immutable seed root; Split is concurrency-safe
 	rec  *obs.Recorder // flight recorder; nil when tracing is disabled
+	// releaseDiv unpins this session's field-cache division entry; nil
+	// when the session was built without the cache. Called once from
+	// close (the func itself is idempotent).
+	releaseDiv func()
 
 	mu     sync.Mutex
 	seq    map[string]uint64 // per-target request counter (rng index)
@@ -88,20 +92,21 @@ type subscriber struct {
 	target string // "" = all targets
 }
 
-func newSession(id string, srv *Server, cfg core.Config, mt *core.MultiTracker, seed uint64, rec *obs.Recorder) *Session {
+func newSession(id string, srv *Server, cfg core.Config, mt *core.MultiTracker, seed uint64, rec *obs.Recorder, releaseDiv func()) *Session {
 	s := &Session{
-		id:      id,
-		srv:     srv,
-		cfg:     cfg,
-		mt:      mt,
-		root:    randx.New(seed),
-		rec:     rec,
-		seq:     make(map[string]uint64),
-		latest:  make(map[string]EstimateWire),
-		in:      make(chan *request, srv.cfg.QueueLimit),
-		stop:    make(chan struct{}),
-		stopped: make(chan struct{}),
-		subs:    make(map[int]*subscriber),
+		id:         id,
+		srv:        srv,
+		cfg:        cfg,
+		mt:         mt,
+		root:       randx.New(seed),
+		rec:        rec,
+		releaseDiv: releaseDiv,
+		seq:        make(map[string]uint64),
+		latest:     make(map[string]EstimateWire),
+		in:         make(chan *request, srv.cfg.QueueLimit),
+		stop:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+		subs:       make(map[int]*subscriber),
 	}
 	go s.runBatcher()
 	return s
@@ -343,6 +348,10 @@ func (s *Session) close() {
 	}
 	s.subs = make(map[int]*subscriber)
 	s.subMu.Unlock()
+	if s.releaseDiv != nil {
+		// Unpin the shared division last: no more batches can touch it.
+		s.releaseDiv()
+	}
 }
 
 // subscribe registers an SSE stream; target "" receives every target's
