@@ -73,6 +73,47 @@ func TestHeuristicMatchZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMatchBatchZeroAllocs pins the batch matcher's steady-state
+// contract: a warmed-up MatchBatch pass over a mixed probe spread (cold
+// + warm starts, ternary Basic vectors) performs zero heap allocations
+// when the destination slice has capacity — the SoA kernel owns all its
+// scratch.
+func TestMatchBatchZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))
+	dep := deploy.Random(fieldRect, 20, randx.New(6))
+	rc, err := field.NewRatioClassifier(dep.Positions(), rf.Default().UncertaintyC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := field.Divide(fieldRect, rc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.SoA() == nil {
+		t.Fatal("ternary division carries no SoA store")
+	}
+	s := &sampling.Sampler{Model: rf.Default(), Nodes: dep.Positions(), Range: 40, Epsilon: 1}
+	rng := randx.New(9)
+	vs := make([]vector.Vector, 16)
+	prevs := make([]*field.Face, 16)
+	for i := range vs {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		vs[i] = s.Sample(p, 5, rng.SplitN("probe", i)).Vector()
+		if i%3 != 0 {
+			prevs[i] = div.FaceAt(p)
+		}
+	}
+	m := &match.Batch{Div: div, Incremental: true}
+	out := m.MatchBatch(nil, vs, prevs) // warm scratch + result capacity
+	allocs := testing.AllocsPerRun(200, func() {
+		out = m.MatchBatch(out[:0], vs, prevs)
+	})
+	if allocs != 0 {
+		t.Errorf("warmed-up MatchBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 func TestLocalizeGroupAllocBudget(t *testing.T) {
 	skipUnderRace(t)
 	fieldRect := geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"fttt"
+	"fttt/internal/core"
 	"fttt/internal/faults"
 	"fttt/internal/fsx"
 )
@@ -83,17 +84,24 @@ func b2i(b bool) int {
 // replayGolden re-runs the scenario and compares every field of every
 // tracked point against the committed fixture within goldenEps.
 func replayGolden(t *testing.T, name string, faulted bool) {
-	path := filepath.Join(goldenDir, name)
 	got := goldenCSV(goldenTrace(t, faulted))
 
 	if *updateGolden {
+		path := filepath.Join(goldenDir, name)
 		if err := fsx.WriteFile(path, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("rewrote %s", path)
 		return
 	}
+	compareGoldenCSV(t, name, got)
+}
 
+// compareGoldenCSV diffs a rendered replay against the committed
+// fixture, field by field within goldenEps.
+func compareGoldenCSV(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name)
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing fixture %s (generate with: go test -run GoldenTrace -update-golden): %v", path, err)
@@ -139,4 +147,128 @@ func TestGoldenTraceBaseline(t *testing.T) {
 // sequences are part of the pinned behaviour.
 func TestGoldenTraceFaulted(t *testing.T) {
 	replayGolden(t, "track_faulted.csv", true)
+}
+
+// goldenTraceBatched replays the same pinned scenario through the
+// wave-batched MultiTracker path: every trace point becomes a
+// LocalizeRequest for one target, so each point's first match runs
+// through match.Batch's SoA kernel instead of the serial Heuristic.
+// The fault-free variant submits the whole trace as a single
+// LocalizeBatch call (per-target FIFO turns it into 41 single-lane
+// waves in order); the faulted variant must advance the fault clock
+// between points exactly as Track's Seek does, so each point is its own
+// batch with the recorder armed — proving instrumentation does not
+// perturb the wave path either.
+func goldenTraceBatched(t *testing.T, faulted bool) []fttt.TrackedPoint {
+	t.Helper()
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+	if faulted {
+		script, err := faults.Parse(`
+			crash at=6 frac=0.25 recover=14
+			crash at=8 frac=0.9 recover=10
+			burst pgb=0.05 pbg=0.5 loss=0.9
+			drift sigma=0.05
+			skew max=0.01 slew=10
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FaultScript = script
+		cfg.FaultSeed = 99
+		cfg.StarFractionLimit = 0.6
+		cfg.RetryBackoff = 0.1
+		cfg.Tracer = fttt.NewTraceRecorder(0)
+	}
+	m, err := fttt.NewMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Division().SoA() == nil {
+		t.Fatal("golden division carries no SoA store; the wave path would not engage")
+	}
+	mob := fttt.Waypoints([]fttt.Point{fttt.Pt(20, 20), fttt.Pt(80, 60)}, 3)
+	trace, times := fttt.SampleTrace(mob, 20, 2)
+	rng := fttt.NewStream(12345)
+	const target = "golden"
+	out := make([]fttt.TrackedPoint, len(trace))
+	record := func(i int, est fttt.Estimate) {
+		out[i] = fttt.TrackedPoint{
+			T:        times[i],
+			True:     trace[i],
+			Estimate: est,
+			Error:    est.Pos.Dist(trace[i]),
+		}
+	}
+	if !faulted {
+		reqs := make([]core.LocalizeRequest, len(trace))
+		for i, pos := range trace {
+			reqs[i] = core.LocalizeRequest{ID: target, Pos: pos, Rng: rng.SplitN("loc", i)}
+		}
+		ests, err := m.LocalizeBatch(reqs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ests {
+			record(i, ests[i])
+		}
+		return out
+	}
+	for i, pos := range trace {
+		sched, err := m.FaultScheduler(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched != nil {
+			sched.Seek(times[i])
+		}
+		ests, err := m.LocalizeBatch(
+			[]core.LocalizeRequest{{ID: target, Pos: pos, Rng: rng.SplitN("loc", i)}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(i, ests[0])
+	}
+	return out
+}
+
+// replayGoldenBatched checks the batched replay against the
+// serial-generated fixture, byte for byte: the wave path's estimates,
+// flags and formatting must be indistinguishable from Track's.
+func replayGoldenBatched(t *testing.T, name string, faulted bool) {
+	if *updateGolden {
+		t.Skip("fixtures are generated by the serial replay")
+	}
+	got := goldenCSV(goldenTraceBatched(t, faulted))
+	want, err := os.ReadFile(filepath.Join(goldenDir, name))
+	if err != nil {
+		t.Fatalf("missing fixture (generate with: go test -run GoldenTrace -update-golden): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Not byte-identical: run the numeric comparer for a readable diff,
+	// then fail regardless — equality within goldenEps is not enough for
+	// the batched path, whose contract is bitwise equivalence.
+	compareGoldenCSV(t, name, got)
+	t.Errorf("batched replay of %s differs from the serial fixture at the byte level", name)
+}
+
+// TestGoldenTraceBatchedBaseline replays the fault-free pinned scenario
+// through MultiTracker.LocalizeBatch (the SoA wave path) and demands
+// the exact bytes of results/golden/track_baseline.csv — the
+// end-to-end form of the batch matcher's differential contract.
+func TestGoldenTraceBatchedBaseline(t *testing.T) {
+	replayGoldenBatched(t, "track_baseline.csv", false)
+}
+
+// TestGoldenTraceBatchedFaulted replays the fault-injected scenario
+// through per-point wave batches with the flight recorder armed and
+// demands the exact bytes of results/golden/track_faulted.csv:
+// degradation retries, extrapolation and the fault scheduler's draw
+// sequences must all survive the batched execution unchanged.
+func TestGoldenTraceBatchedFaulted(t *testing.T) {
+	replayGoldenBatched(t, "track_faulted.csv", true)
 }

@@ -576,7 +576,15 @@ func (t *Tracker) LocalizeGroupRetry(g *sampling.Group, recollect func() *sampli
 // fallback consumes. With StarFractionLimit == 0 it is the plain match
 // plus two point assignments — the hot path stays allocation-free.
 func (t *Tracker) localizeDegraded(g *sampling.Group, recollect func() *sampling.Group) Estimate {
-	est := t.localizeGroup(g)
+	return t.finishDegraded(t.localizeGroup(g), recollect)
+}
+
+// finishDegraded is localizeDegraded after the first match: the
+// degradation policy over an already computed estimate. Split out so the
+// batch engine (multi.go) can feed the first match through the central
+// SoA batch matcher and still replay the serial retry/extrapolation path
+// verbatim.
+func (t *Tracker) finishDegraded(est Estimate, recollect func() *sampling.Group) Estimate {
 	lim := t.cfg.StarFractionLimit
 	if lim <= 0 || est.StarFraction() <= lim {
 		t.pushHistory(est.Pos)
@@ -643,27 +651,42 @@ func (t *Tracker) pushHistory(pos geom.Point) {
 }
 
 func (t *Tracker) localizeGroup(g *sampling.Group) Estimate {
-	var v vector.Vector
-	if t.cfg.Variant == Extended {
-		v = g.ExtendedVector()
-	} else {
-		v = g.Vector()
-	}
+	v := t.samplingVector(g)
 	var r match.Result
 	if t.rec == nil {
 		r = t.matcher.Match(v, t.prev)
 	} else {
 		msp := t.rec.Start(t.round, "match", "match")
 		r = t.matcher.Match(v, t.prev)
-		msp.Attr("visited", float64(r.Visited))
-		if math.IsInf(r.Similarity, 1) {
-			msp.Flag("exact", true)
-		} else {
-			msp.Attr("similarity", r.Similarity)
-		}
-		msp.Flag("fellback", r.FellBack)
-		msp.End()
+		endMatchSpan(msp, r)
 	}
+	return t.finishMatch(v, g, r)
+}
+
+// samplingVector builds the group's sampling vector for the configured
+// variant.
+func (t *Tracker) samplingVector(g *sampling.Group) vector.Vector {
+	if t.cfg.Variant == Extended {
+		return g.ExtendedVector()
+	}
+	return g.Vector()
+}
+
+// endMatchSpan annotates a match span with its result and publishes it.
+func endMatchSpan(msp obs.ActiveSpan, r match.Result) {
+	msp.Attr("visited", float64(r.Visited))
+	if math.IsInf(r.Similarity, 1) {
+		msp.Flag("exact", true)
+	} else {
+		msp.Attr("similarity", r.Similarity)
+	}
+	msp.Flag("fellback", r.FellBack)
+	msp.End()
+}
+
+// finishMatch folds a match result into the tracker's warm-start state
+// and the round's Estimate.
+func (t *Tracker) finishMatch(v vector.Vector, g *sampling.Group, r match.Result) Estimate {
 	t.prev = r.Face
 	return Estimate{
 		Pos:        r.Estimate,

@@ -7,11 +7,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fttt/internal/faults"
 	"fttt/internal/field"
 	"fttt/internal/geom"
+	"fttt/internal/match"
 	"fttt/internal/obs"
 	"fttt/internal/randx"
 	"fttt/internal/sampling"
+	"fttt/internal/vector"
 )
 
 // MultiTracker tracks several targets over one shared field division —
@@ -32,6 +35,30 @@ type MultiTracker struct {
 
 	mu      sync.RWMutex
 	targets map[string]*targetState
+
+	// soaOK reports that LocalizeBatch may route through the wave-
+	// structured SoA batch matcher: the division carries a quantized
+	// store and the configured matcher has a batch equivalent (TopM
+	// selects a weighted estimator the batch kernel does not replicate).
+	soaOK bool
+	// batchMu serializes the batched localization path: the engine below
+	// holds every participating target's lock for the whole batch, and
+	// one-at-a-time batches keep the multi-lock acquisition trivially
+	// deadlock-free. It also guards the wave scratch.
+	batchMu   sync.Mutex
+	bm        *match.Batch
+	pend      []batchPending
+	laneVs    []vector.Vector
+	lanePrevs []*field.Face
+	laneRes   []match.Result
+	metrics   *multiMetrics
+}
+
+// multiMetrics counts the batch engine's wave structure; resolved once
+// in NewMulti like the tracker metrics.
+type multiMetrics struct {
+	waves *obs.Counter
+	lanes *obs.Counter
 }
 
 // targetState is one target's tracker plus the lock serializing its
@@ -49,11 +76,19 @@ func NewMulti(cfg Config) (*MultiTracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MultiTracker{
+	m := &MultiTracker{
 		base:    cfg,
 		shared:  shared,
 		targets: make(map[string]*targetState),
-	}, nil
+		soaOK:   cfg.TopM == 0 && shared.Division().SoA() != nil,
+	}
+	if cfg.Obs != nil {
+		m.metrics = &multiMetrics{
+			waves: cfg.Obs.Counter("fttt_core_batch_waves_total"),
+			lanes: cfg.Obs.Counter("fttt_core_batch_lanes_total"),
+		}
+	}
+	return m, nil
 }
 
 // Targets returns the known target IDs in sorted order.
@@ -203,16 +238,26 @@ type LocalizeRequest struct {
 	Span obs.SpanRef
 }
 
-// LocalizeBatch localizes a heterogeneous batch of requests, fanning
-// distinct targets across a pool of workers (≤ 0 selects
-// runtime.NumCPU(); 1 is serial) while requests for the same target
-// execute serially in slice order. Request i's estimate lands in slot i
-// of the result. Because each request consumes only its own stream and
-// per-target order is preserved, the results are byte-identical for
-// every worker count and batch split — equal to executing the requests
-// one at a time in slice order. This is the primitive the serving
-// micro-batcher (internal/serve) coalesces concurrent localize calls
-// into.
+// LocalizeBatch localizes a heterogeneous batch of requests. Request
+// i's estimate lands in slot i of the result; requests for the same
+// target execute serially in slice order. Because each request consumes
+// only its own stream and per-target order is preserved, the results
+// are byte-identical for every worker count and batch split — equal to
+// executing the requests one at a time in slice order. This is the
+// primitive the serving micro-batcher (internal/serve) coalesces
+// concurrent localize calls into.
+//
+// When the shared division carries a quantized SoA signature store and
+// the configured matcher has a batch equivalent (every config except
+// TopM > 0), the batch executes as waves: one pending request per
+// target per wave runs its sampling, then a single match.Batch pass
+// scores every wave lane's first match against the SoA store —
+// bitwise-identical to the per-lane serial matcher by the batch
+// kernel's differential contract — and each lane then completes its
+// round (degradation retries use the lane's own serial matcher).
+// Otherwise distinct targets fan across a pool of workers (≤ 0 selects
+// runtime.NumCPU(); 1 is serial) exactly as before; workers is ignored
+// on the wave path.
 func (m *MultiTracker) LocalizeBatch(reqs []LocalizeRequest, workers int) ([]Estimate, error) {
 	states := make(map[string]*targetState, len(reqs))
 	order := make([]string, 0, len(reqs))
@@ -245,6 +290,19 @@ func (m *MultiTracker) LocalizeBatch(reqs []LocalizeRequest, workers int) ([]Est
 			rec.Link(batchSpan.Ref(), reqs[i].Span)
 		}
 	}
+	if m.soaOK {
+		m.localizeBatchWaves(reqs, states, order, byTarget, ests)
+	} else {
+		m.localizeBatchFanOut(reqs, states, order, byTarget, ests, workers)
+	}
+	batchSpan.End()
+	return ests, nil
+}
+
+// localizeBatchFanOut is the pre-SoA execution strategy: distinct
+// targets fan across a worker pool, each running its requests serially
+// through the per-target tracker (and its serial matcher).
+func (m *MultiTracker) localizeBatchFanOut(reqs []LocalizeRequest, states map[string]*targetState, order []string, byTarget map[string][]int, ests []Estimate, workers int) {
 	fanOut(len(order), workers, func(ti int) {
 		id := order[ti]
 		ts := states[id]
@@ -261,8 +319,86 @@ func (m *MultiTracker) LocalizeBatch(reqs []LocalizeRequest, workers int) ([]Est
 		ts.tr.SetRequestSpan(obs.SpanRef{})
 		ts.mu.Unlock()
 	})
-	batchSpan.End()
-	return ests, nil
+}
+
+// localizeBatchWaves executes the batch through the shared SoA batch
+// matcher. Requests are organized into waves holding at most one
+// request per target (per-target FIFO preserved: wave w takes each
+// target's w-th request), because a request's completion phase can
+// mutate per-target state the target's next request must observe — the
+// fault clock a degraded retry advances, the warm-start face, the
+// estimate history. Lanes of one wave belong to distinct targets, so
+// the pre-match phases can run back to back, one central MatchBatch
+// pass scores every lane, and the completion phases replay the rest of
+// the serial flow. Every target lock is held for the whole batch;
+// batchMu keeps multi-lock acquisition single-flight (single-lock
+// callers like LocalizeGroup cannot form a cycle against it).
+func (m *MultiTracker) localizeBatchWaves(reqs []LocalizeRequest, states map[string]*targetState, order []string, byTarget map[string][]int, ests []Estimate) {
+	m.batchMu.Lock()
+	defer m.batchMu.Unlock()
+	if m.bm == nil {
+		// Mirror NewWithDivision's serial matcher knobs exactly: the
+		// batch kernel's bitwise-identity contract is per matching
+		// configuration.
+		m.bm = &match.Batch{
+			Div:           m.shared.Division(),
+			Incremental:   true,
+			Fallback:      m.base.FallbackBelow > 0,
+			FallbackBelow: m.base.FallbackBelow,
+			Exhaustive:    m.base.Exhaustive,
+		}
+	}
+	for _, id := range order {
+		states[id].mu.Lock()
+	}
+	defer func() {
+		for _, id := range order {
+			ts := states[id]
+			ts.tr.SetRequestSpan(obs.SpanRef{})
+			ts.mu.Unlock()
+		}
+	}()
+	pend, vs, prevs := m.pend, m.laneVs, m.lanePrevs
+	for wave := 0; ; wave++ {
+		pend, vs, prevs = pend[:0], vs[:0], prevs[:0]
+		for _, id := range order {
+			ris := byTarget[id]
+			if wave >= len(ris) {
+				continue
+			}
+			ri := ris[wave]
+			p := states[id].tr.batchBegin(&reqs[ri])
+			p.reqIdx = ri
+			pend = append(pend, p)
+			vs = append(vs, p.v)
+			prevs = append(prevs, p.prev)
+		}
+		if len(pend) == 0 {
+			break
+		}
+		m.laneRes = m.bm.MatchBatch(m.laneRes[:0], vs, prevs)
+		for i := range pend {
+			p := &pend[i]
+			ests[p.reqIdx] = p.tr.batchFinish(p, m.laneRes[i])
+		}
+		if m.metrics != nil {
+			m.metrics.waves.Inc()
+			m.metrics.lanes.Add(float64(len(pend)))
+		}
+	}
+	m.pend, m.laneVs, m.lanePrevs = pend, vs, prevs
+}
+
+// FaultScheduler exposes one target's fault scheduler (created on first
+// use like the target itself; nil when no FaultScript is configured).
+// Callers driving per-request batches directly can Seek it to their own
+// virtual time between requests, exactly like Track does serially.
+func (m *MultiTracker) FaultScheduler(targetID string) (*faults.Scheduler, error) {
+	ts, err := m.target(targetID)
+	if err != nil {
+		return nil, err
+	}
+	return ts.tr.FaultScheduler(), nil
 }
 
 // Forget drops a target's state (e.g. it left the field).

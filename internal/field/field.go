@@ -167,7 +167,16 @@ type Division struct {
 	cellFace []int
 	// bySig maps a ternary signature key to its face ID.
 	bySig map[string]int
+	// soa is the quantized structure-of-arrays signature store the batch
+	// matcher streams; nil when the signatures do not quantize (exotic
+	// custom classifiers). Built once alongside the faces, immutable.
+	soa *SigSoA
 }
+
+// SoA returns the division's quantized structure-of-arrays signature
+// store, or nil when the signatures do not quantize losslessly into
+// int8 — callers must fall back to the AoS Face.Signature path then.
+func (d *Division) SoA() *SigSoA { return d.soa }
 
 // dimEps guards the ceiling grid division against floating-point noise:
 // an extent/cellSize quotient within 1e-9 of an integer counts as exact.
@@ -403,6 +412,7 @@ func (d *Division) finalizeFaces(accums []*faceAccum) {
 			NeighborDiffs: diffs,
 		}
 	}
+	d.soa = buildSigSoA(d.Faces)
 }
 
 // signatureDiff returns the component indices where a and b differ.

@@ -98,6 +98,11 @@ func Load(r io.Reader) (*Division, error) {
 			return nil, fmt.Errorf("field: cell %d maps to invalid face %d", ci, id)
 		}
 	}
+	// The SoA store is derived state: rebuilt deterministically from the
+	// validated signatures rather than serialized, so the wire format is
+	// unchanged and a loaded division batch-matches exactly like the one
+	// that was saved.
+	d.soa = buildSigSoA(d.Faces)
 	return d, nil
 }
 

@@ -135,5 +135,6 @@ func (d *Division) ApproxBytes() int64 {
 		// bySig: one entry per face, key is the packed signature string.
 		total += mapEntry + int64(len(f.Signature))
 	}
+	total += d.soa.ApproxBytes()
 	return total
 }

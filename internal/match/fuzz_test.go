@@ -45,6 +45,77 @@ func decodeValue(b byte) vector.Value {
 	}
 }
 
+// FuzzMatchBatchEquivalence is the batch matcher's differential fuzz
+// target: arbitrary legal sampling vectors (ternary, Star and Def. 10
+// fractional values), arbitrary warm starts, batch sizes and split
+// points must produce results byte-identical to the serial matchers —
+// same face IDs, bitwise-equal similarity and estimate, same search
+// statistics — in both heuristic and exhaustive modes.
+func FuzzMatchBatchEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5, 0, 1, 2}, uint16(0), uint8(4), false)
+	f.Add([]byte{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, uint16(7), uint8(1), true)
+	f.Add([]byte{4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4, 5, 4}, uint16(99), uint8(3), false)
+	f.Fuzz(func(t *testing.T, data []byte, warm uint16, nlanes uint8, exhaustive bool) {
+		div := fuzzDiv()
+		dim := vector.NumPairs(6)
+		lanes := 1 + int(nlanes)%8
+		vs := make([]vector.Vector, lanes)
+		prevs := make([]*field.Face, lanes)
+		for l := 0; l < lanes; l++ {
+			v := make(vector.Vector, dim)
+			for k := 0; k < dim; k++ {
+				idx := l*dim + k
+				if idx < len(data) {
+					v[k] = decodeValue(data[idx])
+				} else {
+					v[k] = decodeValue(byte(idx) * 31)
+				}
+			}
+			vs[l] = v
+			if l%2 == 0 {
+				prevs[l] = &div.Faces[(int(warm)+l)%div.NumFaces()]
+			}
+		}
+
+		want := make([]Result, lanes)
+		if exhaustive {
+			ex := &Exhaustive{Div: div}
+			for l := range vs {
+				want[l] = ex.Match(vs[l], prevs[l])
+			}
+		} else {
+			serial := &Heuristic{Div: div, Incremental: true}
+			for l := range vs {
+				want[l] = serial.Match(vs[l], prevs[l])
+			}
+		}
+
+		b := &Batch{Div: div, Incremental: true, Exhaustive: exhaustive}
+		// One whole-batch pass plus a split at a data-derived point:
+		// regrouping the same lanes must not change a single bit.
+		split := 1 + int(warm)%lanes
+		for _, bounds := range [][2]int{{0, lanes}, {0, split}, {split, lanes}} {
+			lo, hi := bounds[0], bounds[1]
+			if lo == hi {
+				continue
+			}
+			got := b.MatchBatch(nil, vs[lo:hi], prevs[lo:hi])
+			for l := range got {
+				w, g := want[lo+l], got[l]
+				if w.Face != g.Face ||
+					math.Float64bits(w.Similarity) != math.Float64bits(g.Similarity) ||
+					math.Float64bits(w.Estimate.X) != math.Float64bits(g.Estimate.X) ||
+					math.Float64bits(w.Estimate.Y) != math.Float64bits(g.Estimate.Y) ||
+					w.Tied != g.Tied || w.Visited != g.Visited ||
+					w.Rounds != g.Rounds || w.FellBack != g.FellBack {
+					t.Fatalf("lane %d (of [%d:%d], exhaustive=%v): batch %+v, serial %+v",
+						lo+l, lo, hi, exhaustive, g, w)
+				}
+			}
+		}
+	})
+}
+
 // FuzzHeuristicMatch checks Algorithm 2's bounded best-first search
 // against the exhaustive ground truth on arbitrary sampling vectors and
 // warm starts: it never panics, always returns an in-division face, is

@@ -106,6 +106,12 @@ func Suite() []Scenario {
 			MapsTo:  "DESIGN.md §13 shared field-index cache (cache-hit ≥10× faster than cold build)",
 			setup:   setupColdSession,
 		},
+		{
+			Name: "match/heuristic-batch64", Kind: KindMicro, Seed: 9,
+			Summary: "one match.Batch.MatchBatch pass over 64 mixed-start ternary lanes (SoA bitplane kernel)",
+			MapsTo:  "Sec. 4.4 matching as a data-layout problem; DESIGN.md §14 (>4× per vector vs match/heuristic)",
+			setup:   setupHeuristicMatchBatch64,
+		},
 	}
 }
 
@@ -221,6 +227,46 @@ func setupHeuristicMatch(sc Scenario) (*instance, error) {
 			sink = m.Match(pr.v, pr.prev)
 			n++
 		}
+	}}, nil
+}
+
+// setupHeuristicMatchBatch64 prices the SoA batch matcher: one
+// MatchBatch pass over 64 lanes built exactly like the match/heuristic
+// probes (same division, same sampler, cold + warm starts), so
+// per-op-time/64 against match/heuristic's per-op time reads off the
+// data-layout speedup DESIGN.md §14 claims (>4× per vector). Results
+// are bitwise-identical to 64 serial Heuristic matches by the batch
+// kernel's differential contract.
+func setupHeuristicMatchBatch64(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	rc := mustClassifier(cfg)
+	div, err := field.Divide(cfg.Field, rc, cfg.CellSize)
+	if err != nil {
+		return nil, err
+	}
+	if div.SoA() == nil {
+		return nil, fmt.Errorf("perfbench: paper division carries no SoA signature store")
+	}
+	s := paperSampler(cfg)
+	rng := randx.New(sc.Seed)
+	const lanes = 64
+	vs := make([]vector.Vector, lanes)
+	prevs := make([]*field.Face, lanes)
+	for i := range vs {
+		p := geom.Pt(rng.Uniform(5, 95), rng.Uniform(5, 95))
+		vs[i] = s.Sample(p, cfg.SamplingTimes, rng.SplitN("probe", i)).Vector()
+		if i%3 != 0 {
+			prevs[i] = div.FaceAt(p)
+		}
+	}
+	m := &match.Batch{Div: div}
+	out := m.MatchBatch(nil, vs, prevs) // warm scratch + result capacity
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			out = m.MatchBatch(out[:0], vs, prevs)
+		}
+		sink = out
 	}}, nil
 }
 

@@ -250,4 +250,18 @@ func TestLoadCacheArmedManySessions(t *testing.T) {
 	if got := reg.Counter("fttt_fieldcache_misses_total").Value(); got != 1 {
 		t.Errorf("cache misses = %v, want 1", got)
 	}
+
+	// Cached divisions carry the SoA signature store, so every served
+	// localization above must have ridden the batched wave engine — one
+	// lane per request, grouped into at least one MatchBatch wave.
+	// (The byte-identity check against the uncached reference already
+	// passed, so these counters also certify the wave path answered
+	// exactly like serial execution.)
+	lanes := reg.Counter("fttt_core_batch_lanes_total").Value()
+	if want := float64(waves * 2 * 5); lanes != want {
+		t.Errorf("batch lanes = %v, want %v (one per served localization)", lanes, want)
+	}
+	if got := reg.Counter("fttt_core_batch_waves_total").Value(); got <= 0 || got > lanes {
+		t.Errorf("batch waves = %v, want in (0, %v]", got, lanes)
+	}
 }

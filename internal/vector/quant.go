@@ -1,0 +1,159 @@
+package vector
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8 quantization codec for signature/sampling values.
+//
+// The SoA signature store (field.SigSoA) keeps face signatures as
+// contiguous int8 columns. A Value quantizes against a denominator
+// denom ∈ [1, MaxDenom]: the code of v is round(v·denom), so the
+// ternary values of Def. 4 encode with denom 1 as {-1, 0, +1} and the
+// Def. 10 extended values (wins−losses)/k encode with denom k as the
+// integer wins−losses. Star gets the reserved code StarCode, which no
+// legal value can produce (|round(v·denom)| ≤ denom ≤ 127 < 128).
+//
+// The codec is proven lossless for legal values by construction:
+// Quantize re-derives the value from the candidate code and rejects the
+// encode — it never clamps or rounds away information — unless the
+// round-trip reproduces v bit-for-bit. Dequantize(Quantize(v)) == v
+// therefore holds for every value Quantize accepts.
+
+// StarCode is the reserved int8 code for the Star value. It is outside
+// [-MaxDenom, MaxDenom], so no quantized legal value collides with it.
+const StarCode int8 = math.MinInt8
+
+// MaxDenom is the largest supported quantization denominator: codes
+// must fit an int8 alongside the reserved StarCode.
+const MaxDenom = 127
+
+// Quantize encodes v against denom. It returns an error — never a
+// clamped or approximated code — when v cannot be represented exactly:
+// out-of-range magnitudes (|v| > 1), and in-range values that are not
+// an exact multiple of 1/denom as a float64.
+func Quantize(v Value, denom int) (int8, error) {
+	if denom < 1 || denom > MaxDenom {
+		return 0, fmt.Errorf("vector: quantization denominator %d outside [1, %d]", denom, MaxDenom)
+	}
+	if v.IsStar() {
+		return StarCode, nil
+	}
+	r := math.Round(float64(v) * float64(denom))
+	if r < -float64(denom) || r > float64(denom) {
+		return 0, fmt.Errorf("vector: value %v out of range for denominator %d", float64(v), denom)
+	}
+	if Value(r/float64(denom)) != v {
+		return 0, fmt.Errorf("vector: value %v is not representable with denominator %d", float64(v), denom)
+	}
+	return int8(r), nil
+}
+
+// Dequantize decodes a code produced by Quantize with the same
+// denominator. For codes Quantize returned, the result equals the
+// original value exactly.
+func Dequantize(c int8, denom int) Value {
+	if c == StarCode {
+		return Star
+	}
+	return Value(float64(c) / float64(denom))
+}
+
+// QuantizeVector appends the codes of every component of v to dst and
+// returns the extended slice, or an error naming the first component
+// that does not quantize losslessly.
+func QuantizeVector(dst []int8, v Vector, denom int) ([]int8, error) {
+	if denom == 1 {
+		// Ternary fast path: with denom 1 the only representable values
+		// are exactly {-1, 0, +1, Star} (anything else fails Quantize's
+		// round-trip check), so an equality switch replaces the
+		// round-and-verify float work on the divide-time bulk path.
+		for k, x := range v {
+			switch {
+			case x == 0:
+				dst = append(dst, 0)
+			case x == 1:
+				dst = append(dst, 1)
+			case x == -1:
+				dst = append(dst, -1)
+			case x.IsStar():
+				dst = append(dst, StarCode)
+			default:
+				return nil, fmt.Errorf("component %d: vector: value %v is not representable with denominator 1", k, float64(x))
+			}
+		}
+		return dst, nil
+	}
+	for k, x := range v {
+		c, err := Quantize(x, denom)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %w", k, err)
+		}
+		dst = append(dst, c)
+	}
+	return dst, nil
+}
+
+// DequantizeVector appends the decoded values of codes to dst and
+// returns the extended slice.
+func DequantizeVector(dst Vector, codes []int8, denom int) Vector {
+	for _, c := range codes {
+		dst = append(dst, Dequantize(c, denom))
+	}
+	return dst
+}
+
+// CommonDenominator returns the smallest denominator in [1, MaxDenom]
+// that losslessly quantizes every distinct value of vs, or 0 if none
+// exists (a value outside [-1, 1], or one that is no exact multiple of
+// 1/denom for any legal denom — e.g. an irrational fraction's float).
+// Ternary vectors resolve to 1; Def. 10 vectors over k samples resolve
+// to a divisor of k.
+func CommonDenominator(vs ...Vector) int {
+	// Ternary fast path: every division the RatioClassifier builds is
+	// pure {-1, 0, +1, Star}, and hashing hundreds of thousands of
+	// float keys below would dominate divide time. A plain comparison
+	// scan settles denom 1 without touching the map.
+	ternary := true
+scan:
+	for _, v := range vs {
+		for _, x := range v {
+			if x != 0 && x != 1 && x != -1 && !x.IsStar() {
+				ternary = false
+				break scan
+			}
+		}
+	}
+	if ternary {
+		return 1
+	}
+	// Collect the distinct non-star values first: the denominator search
+	// then costs O(distinct × denom) instead of O(total × denom).
+	var distinct []Value
+	seen := make(map[Value]struct{})
+	for _, v := range vs {
+		for _, x := range v {
+			if x.IsStar() {
+				continue
+			}
+			if _, ok := seen[x]; !ok {
+				seen[x] = struct{}{}
+				distinct = append(distinct, x)
+			}
+		}
+	}
+	for denom := 1; denom <= MaxDenom; denom++ {
+		ok := true
+		for _, x := range distinct {
+			if _, err := Quantize(x, denom); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return denom
+		}
+	}
+	return 0
+}
