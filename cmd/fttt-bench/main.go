@@ -32,7 +32,7 @@ func main() {
 		trials    = flag.Int("trials", 0, "override trials per sweep point")
 		dur       = flag.Float64("duration", 0, "override tracking duration (s)")
 		seed      = flag.Uint64("seed", 1, "root random seed")
-		only      = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility,faulttol)")
+		only      = flag.String("only", "", "comma-separated experiment list (fig10,fig11a,fig11bc,fig12a,fig12b,fig12cd,fig13,sampling,scaling,matchcost,ablation,gridres,methods,smoothing,lifetime,syncacc,estimator,doi,dutycycle,faces,coverage,mac,mobility,faulttol,byzantine)")
 		csvDir    = flag.String("csv", "", "directory to write CSV series into")
 		svgDir    = flag.String("svg", "", "directory to render Fig. 10/13 track SVGs into")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the suite runs")
@@ -110,6 +110,7 @@ func main() {
 		{"mac", r.mac},
 		{"mobility", r.mobility},
 		{"faulttol", r.faultTolerance},
+		{"byzantine", r.byzantine},
 	}
 	for _, e := range experimentsList {
 		if !sel(e.name) {
@@ -697,6 +698,42 @@ func (r *runner) faultTolerance() {
 			row.DegradedFrac, row.RetriedFrac, row.ExtrapolatedFrac)
 	}
 	r.writeFile("fault_tolerance.csv", b.String())
+	fmt.Println()
+}
+
+func (r *runner) byzantine() {
+	rows, err := experiments.Byzantine(r.p, 16, []float64{0, 0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== DESIGN.md §15: Byzantine collusion, malicious fraction vs tracking error ==")
+	fmt.Printf("  %-10s%10s%12s%12s%12s%12s%10s%10s%10s%10s\n",
+		"malicious", "colluders", "def-mean", "van-mean", "def-steady", "van-steady",
+		"pm", "mle", "suspects", "truepos")
+	var b strings.Builder
+	b.WriteString("malicious_frac,colluders,defended_mean,defended_p90,vanilla_mean,vanilla_p90," +
+		"defended_steady_mean,vanilla_steady_mean,pm_mean,mle_mean,suspects_mean,suspects_truepos\n")
+	for _, row := range rows {
+		fmt.Printf("  %-9.0f%%%10d%12.2f%12.2f%12.2f%12.2f%10.2f%10.2f%10.1f%10.2f\n",
+			100*row.MaliciousFrac, row.Colluders, row.DefendedMean, row.VanillaMean,
+			row.DefendedSteadyMean, row.VanillaSteadyMean,
+			row.PMMean, row.DirectMLEMean, row.SuspectsMean, row.SuspectsTruePos)
+		fmt.Fprintf(&b, "%.2f,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.3f\n",
+			row.MaliciousFrac, row.Colluders, row.DefendedMean, row.DefendedP90,
+			row.VanillaMean, row.VanillaP90, row.DefendedSteadyMean, row.VanillaSteadyMean,
+			row.PMMean, row.DirectMLEMean, row.SuspectsMean, row.SuspectsTruePos)
+	}
+	r.writeFile("byzantine.csv", b.String())
+	if r.svgDir != "" || r.csvDir != "" {
+		res, err := experiments.ByzantineExample(r.p, 16, 0.2)
+		if err != nil {
+			fatal(err)
+		}
+		r.renderTrackSVG("byzantine_defended.svg", res.Nodes, res.Defended)
+		r.renderTrackSVG("byzantine_vanilla.svg", res.Nodes, res.Vanilla)
+		r.writeSeriesCSV("byzantine_defended_track.csv", res.Defended)
+		r.writeSeriesCSV("byzantine_vanilla_track.csv", res.Vanilla)
+	}
 	fmt.Println()
 }
 

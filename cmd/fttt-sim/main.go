@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"fttt/internal/baseline"
+	"fttt/internal/byz"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/faults"
@@ -57,6 +58,7 @@ type simConfig struct {
 	targets, parallel          int
 	script                     *faults.Script
 	starFrac, retryBackoff     float64
+	defense                    bool
 	obs                        *obs.Registry
 	// rec, when non-nil, records structured traces of every round; main
 	// writes the JSONL export to -trace at exit.
@@ -100,6 +102,7 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault scenario: a script file path (or @path), or inline directives like 'crash at=20 frac=0.3; burst loss=0.9' (fttt strategies)")
 		starFrac  = flag.Float64("starfrac", 0, "star-fraction degradation threshold arming retry + extrapolation (0 = off)")
 		backoff   = flag.Float64("retrybackoff", -1, "virtual-time backoff before a degraded round's re-collection (s); -1 = period/5")
+		defense   = flag.Bool("defense", false, "arm the Byzantine-sensing defense: trust-weighted matching + quorum voting (fttt strategies)")
 		telemetry = flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 		tracePath = flag.String("trace", "", "write a JSONL trace recording of the run to this path (convert with fttt-trace)")
 	)
@@ -144,7 +147,8 @@ func main() {
 		net:      *netMode, commRange: *commRange, hopLoss: *hopLoss, hopDel: *hopDelay,
 		targets: *targets, parallel: *parallel,
 		script: script, starFrac: *starFrac, retryBackoff: *backoff,
-		obs: reg,
+		defense: *defense,
+		obs:     reg,
 	}
 	if *tracePath != "" {
 		cfg.rec = obs.NewRecorder(0)
@@ -246,6 +250,10 @@ func run(c simConfig) (simResult, error) {
 		return simResult{}, fmt.Errorf("unknown deployment %q", c.layout)
 	}
 
+	if c.defense && c.strategy != "fttt" && c.strategy != "fttt-ext" {
+		return simResult{}, fmt.Errorf("-defense supports the fttt strategies, not %q", c.strategy)
+	}
+
 	if c.targets > 1 {
 		if c.net {
 			return simResult{}, fmt.Errorf("-targets > 1 requires sampler mode (drop -net)")
@@ -281,6 +289,9 @@ func runMulti(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mode
 		Field: field, Nodes: dep.Positions(), Model: model,
 		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 		ReportLoss: c.loss, Variant: variant, Obs: c.obs,
+	}
+	if c.defense {
+		mcfg.Defense = &byz.Config{Enabled: true}
 	}
 	if c.rec != nil {
 		// A bare nil-pointer assignment would produce a typed-nil Tracer
@@ -378,7 +389,9 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 	if c.script != nil {
 		// The scheduler rides the network's virtual clock: every
 		// collection round's BeginRound seeks it to engine.Now().
-		netCfg.Faults = faults.New(*c.script, c.n, c.seed)
+		sched := faults.New(*c.script, c.n, c.seed)
+		sched.SetGeometry(dep.Positions(), model)
+		netCfg.Faults = sched
 	}
 	net, err := wsnnet.New(netCfg)
 	if err != nil {
@@ -388,6 +401,9 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 		Field: field, Nodes: dep.Positions(), Model: model,
 		Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 		Variant: variant, StarFractionLimit: c.starFrac, Obs: c.obs,
+	}
+	if c.defense {
+		tcfg.Defense = &byz.Config{Enabled: true}
 	}
 	pcfg := pipeline.Config{
 		Net: net, Tracker: nil, Period: c.locPeriod, K: c.k,
@@ -427,6 +443,7 @@ func runNet(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Model,
 			c.strategy, c.n, c.k, c.eps, c.seed, s.N)
 		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
 			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
+		printDefenseVerdict(tr)
 	}
 	return res, nil
 }
@@ -444,6 +461,9 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 	var sched *faults.Scheduler
 	if c.script != nil {
 		sched = faults.New(*c.script, c.n, c.seed)
+		// Colluders need the deployment geometry to fabricate
+		// decoy-consistent RSS (without it they degrade to a fixed lie).
+		sched.SetGeometry(dep.Positions(), model)
 		sampler.Faults = sched
 	}
 	// The standalone sampler records its fault injections directly (the
@@ -463,12 +483,16 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 	}
 
 	var estimate func(i int) geom.Point
+	var defTr *core.Tracker // set when the defense is armed, for the verdict line
 	switch c.strategy {
 	case "fttt", "fttt-ext":
 		cfg := core.Config{
 			Field: field, Nodes: dep.Positions(), Model: model,
 			Epsilon: c.eps, SamplingTimes: c.k, Range: c.rng, CellSize: c.cell,
 			StarFractionLimit: c.starFrac, Obs: c.obs,
+		}
+		if c.defense {
+			cfg.Defense = &byz.Config{Enabled: true}
 		}
 		if c.rec != nil {
 			cfg.Tracer = c.rec
@@ -483,6 +507,9 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 		if c.report {
 			fmt.Printf("division: %d faces, %d links, C=%.4f\n",
 				tr.Division().NumFaces(), tr.Division().NeighborLinkCount(), cfg.UncertaintyC())
+		}
+		if c.defense {
+			defTr = tr
 		}
 		estimate = func(i int) geom.Point {
 			var recollect func() *sampling.Group
@@ -535,8 +562,29 @@ func runSampler(c simConfig, field geom.Rect, dep deploy.Deployment, model rf.Mo
 			c.strategy, c.n, c.k, c.eps, c.seed, s.N)
 		fmt.Printf("error: mean=%.2fm stddev=%.2fm rmse=%.2fm median=%.2fm p90=%.2fm max=%.2fm\n",
 			s.Mean, s.StdDev, s.RMSE, s.Median, s.P90, s.Max)
+		printDefenseVerdict(defTr)
 	}
 	return res, nil
+}
+
+// printDefenseVerdict reports which nodes the armed defense convicted by
+// the end of the run, with their residual trust. nil tr (defense off, or
+// a non-tracker strategy) prints nothing.
+func printDefenseVerdict(tr *core.Tracker) {
+	if tr == nil || tr.Defense() == nil {
+		return
+	}
+	d := tr.Defense()
+	sus := d.Suspects()
+	if len(sus) == 0 {
+		fmt.Println("defense: armed, no suspects")
+		return
+	}
+	fmt.Printf("defense: %d suspect(s):", len(sus))
+	for _, i := range sus {
+		fmt.Printf(" node %d (trust %.2f)", i, d.NodeTrust(i))
+	}
+	fmt.Println()
 }
 
 // inRange counts nodes within sensing range of p (0 range = all).

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 
+	"fttt/internal/byz"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/geom"
@@ -62,6 +63,9 @@ type (
 	Estimate = core.Estimate
 	// TrackedPoint pairs a true position with its estimate and error.
 	TrackedPoint = core.TrackedPoint
+	// DefenseConfig parameterises the Byzantine-sensing defense layer;
+	// set Config.Defense (with Enabled true) to arm it (DESIGN.md §15).
+	DefenseConfig = byz.Config
 )
 
 // Re-exported tracker variants.

@@ -1,0 +1,141 @@
+package fttt_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fttt"
+	"fttt/internal/faults"
+	"fttt/internal/fsx"
+)
+
+// goldenByzantineConfig pins the adversarial end-to-end scenario of the
+// Byzantine golden fixtures: the 16-node grid with the corridor-nearest
+// coalition {0, 5, 10} colluding from t=0 on a phantom position beyond
+// the field's south-east corner (the sweep scenario of
+// internal/experiments.Byzantine, DESIGN.md §15). defended arms the
+// byz defense; malicious=false drops the coalition (the honest
+// byte-identity scenario).
+func goldenByzantineConfig(t *testing.T, defended, malicious bool) fttt.Config {
+	t.Helper()
+	field := fttt.NewRect(fttt.Pt(0, 0), fttt.Pt(100, 100))
+	dep := fttt.DeployGrid(field, 16)
+	cfg := fttt.DefaultConfig(dep)
+	cfg.CellSize = 2
+	if malicious {
+		script, err := faults.Parse("collude at=0 nodes=0,5,10 x=130 y=-30")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FaultScript = script
+		cfg.FaultSeed = 7
+	}
+	if defended {
+		cfg.Defense = &fttt.DefenseConfig{Enabled: true}
+	}
+	return cfg
+}
+
+// goldenByzantineTrace is the pinned target route: the slow diagonal
+// patrol between (25,25) and (75,75) that keeps the target in each
+// node's range for several consecutive rounds — the regime where the
+// coalition gets to repeat its lie and the defense accumulates the
+// evidence to convict it.
+func goldenByzantineTrace() (pts []fttt.Point, times []float64) {
+	a, b := fttt.Pt(25, 25), fttt.Pt(75, 75)
+	mob := fttt.Waypoints([]fttt.Point{a, b, a, b, a}, 2)
+	return fttt.SampleTrace(mob, 60, 2)
+}
+
+func goldenByzantineTrack(t *testing.T, defended, malicious bool) []fttt.TrackedPoint {
+	t.Helper()
+	trace, times := goldenByzantineTrace()
+	tracked, err := fttt.Track(goldenByzantineConfig(t, defended, malicious), trace, times, 424242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tracked
+}
+
+// TestGoldenByzantineDefended pins the defended tracker's point-wise
+// behaviour under the colluding coalition against
+// results/golden/byzantine_defended.csv: any change to the evidence
+// rules, the plausibility gate, quorum voting or trust dynamics shows
+// up as a trace diff, not just a shifted mean.
+func TestGoldenByzantineDefended(t *testing.T) {
+	replayGoldenByzantine(t, "byzantine_defended.csv", true)
+}
+
+// TestGoldenByzantineUndefended pins the vanilla tracker under the
+// identical attack against results/golden/byzantine_undefended.csv —
+// the undefended half of the differential pair, so fixture diffs
+// separate "the attack changed" from "the defense changed".
+func TestGoldenByzantineUndefended(t *testing.T) {
+	replayGoldenByzantine(t, "byzantine_undefended.csv", false)
+}
+
+func replayGoldenByzantine(t *testing.T, name string, defended bool) {
+	got := goldenCSV(goldenByzantineTrack(t, defended, true))
+	if *updateGolden {
+		writeGolden(t, name, got)
+		return
+	}
+	compareGoldenCSV(t, name, got)
+}
+
+// TestGoldenByzantineHonestByteIdentity is the 0%-malicious contract:
+// with no coalition scripted, the defended tracker's rendered trace is
+// byte-for-byte the vanilla tracker's — the defense must be a strict
+// no-op on honest runs, not merely close.
+func TestGoldenByzantineHonestByteIdentity(t *testing.T) {
+	def := goldenCSV(goldenByzantineTrack(t, true, false))
+	van := goldenCSV(goldenByzantineTrack(t, false, false))
+	if def != van {
+		t.Fatal("defended honest replay differs from vanilla at the byte level")
+	}
+}
+
+// TestGoldenByzantineWorkerInvariance replays the defended adversarial
+// scenario through TrackParallel at several worker counts and demands
+// byte-identical traces: the defense's per-clone state (trust, evidence,
+// plausibility flags) must not leak across lanes or depend on
+// scheduling.
+func TestGoldenByzantineWorkerInvariance(t *testing.T) {
+	cfg := goldenByzantineConfig(t, true, true)
+	trace, times := goldenByzantineTrace()
+	const copies = 4
+	traces := make([][]fttt.Point, copies)
+	tms := make([][]float64, copies)
+	for i := range traces {
+		traces[i] = trace
+		tms[i] = times
+	}
+	render := func(workers int) string {
+		tracked, err := fttt.TrackParallel(cfg, traces, tms, 424242, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, tr := range tracked {
+			out += goldenCSV(tr)
+		}
+		return out
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); got != serial {
+			t.Fatalf("defended TrackParallel with %d workers differs from serial", workers)
+		}
+	}
+}
+
+// writeGolden writes one fixture under results/golden (the
+// -update-golden path).
+func writeGolden(t *testing.T, name, content string) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name)
+	if err := fsx.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rewrote %s", path)
+}

@@ -24,6 +24,9 @@ type batchPending struct {
 	g    *sampling.Group
 	v    vector.Vector
 	prev *field.Face
+	// w is the defense layer's per-pair trust weight vector for the
+	// central match (nil without a Defense, or while no node is suspect).
+	w []float64
 	// recollect is the degradation policy's bounded re-collection hook,
 	// built exactly like Localize builds it (nil on the Group path or
 	// with the policy disarmed).
@@ -74,6 +77,13 @@ func (t *Tracker) batchBegin(r *LocalizeRequest) batchPending {
 		p.start = time.Now()
 	}
 	p.v = t.samplingVector(p.g)
+	if t.defense != nil {
+		// The serial pre-match defense phase — plausibility gate, then
+		// Apply; the matching Observe runs in batchFinish, before the
+		// degradation policy's retry can open its own Apply/Observe round.
+		t.defense.ObserveGroup(p.g)
+		p.w = t.defense.Apply(p.v)
+	}
 	p.prev = t.prev
 	return p
 }
@@ -86,6 +96,9 @@ func (t *Tracker) batchBegin(r *LocalizeRequest) batchPending {
 func (t *Tracker) batchFinish(p *batchPending, r match.Result) Estimate {
 	if t.rec != nil {
 		endMatchSpan(t.rec.Start(t.round, "match", "match"), r)
+	}
+	if t.defense != nil {
+		t.defense.Observe(r.Face.Signature)
 	}
 	est := t.finishDegraded(t.finishMatch(p.v, p.g, r), p.recollect)
 	if p.instrumented {

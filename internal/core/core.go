@@ -16,6 +16,7 @@ import (
 	"math"
 	"time"
 
+	"fttt/internal/byz"
 	"fttt/internal/faults"
 	"fttt/internal/field"
 	"fttt/internal/geom"
@@ -132,6 +133,17 @@ type Config struct {
 	FaultScript *faults.Script
 	// FaultSeed roots the fault scheduler's random choices.
 	FaultSeed uint64
+	// Defense, when non-nil with Enabled set, arms the Byzantine-sensing
+	// defense layer (internal/byz, DESIGN.md §15): online per-node trust
+	// learned from pair-report consistency, quorum voting over suspect
+	// pairs before matching, and a trust-reweighted Algorithm 2 similarity
+	// sum. Every tracker clone builds its own Defense from this config, so
+	// defended runs stay byte-identical across worker counts; while no
+	// node is suspect the matcher runs its unmodified path, keeping a
+	// defended honest run byte-identical to a vanilla one. Incompatible
+	// with TopM (the weighted-top-M estimator has no trust-weighted batch
+	// equivalent).
+	Defense *byz.Config
 	// Obs, when non-nil, receives the tracker's metrics (localizations,
 	// faces visited, fallbacks, flip/star/missing-report counts, localize
 	// latency — DESIGN.md §"Telemetry"). Nil disables all bookkeeping.
@@ -164,6 +176,14 @@ func (c Config) Validate() error {
 	if c.Field.Width() <= 0 || c.Field.Height() <= 0 {
 		return fmt.Errorf("core: degenerate field %v", c.Field)
 	}
+	if c.Defense != nil {
+		if err := c.Defense.Validate(); err != nil {
+			return err
+		}
+		if c.Defense.Enabled && c.TopM > 0 {
+			return fmt.Errorf("core: Defense is incompatible with the TopM estimator (no trust-weighted WeightedTopM)")
+		}
+	}
 	return c.Model.Validate()
 }
 
@@ -182,6 +202,7 @@ type Tracker struct {
 	sampler *sampling.Sampler
 	prev    *field.Face
 	faults  *faults.Scheduler
+	defense *byz.Defense
 	// lastPos/prevPos/histN hold the estimate history the degradation
 	// fallback extrapolates from (DESIGN.md §9).
 	lastPos geom.Point
@@ -332,13 +353,37 @@ func NewWithDivision(cfg Config, div *field.Division) (*Tracker, error) {
 	t.sampler.Trace = t.rec
 	if cfg.FaultScript != nil {
 		t.faults = faults.New(*cfg.FaultScript, len(cfg.Nodes), cfg.FaultSeed)
+		// The collude behavior fabricates decoy-consistent RSS from the
+		// deployment geometry; benign behaviors ignore it.
+		t.faults.SetGeometry(cfg.Nodes, cfg.Model)
 		t.sampler.Faults = t.faults
+	}
+	if cfg.Defense != nil && cfg.Defense.Enabled {
+		t.defense = byz.New(*cfg.Defense, len(cfg.Nodes), cfg.SamplingTimes, cfg.Obs)
+		if cfg.Range > 0 && cfg.SamplingTimes >= 2 {
+			// Arm the range-plausibility gate from the deployment's RF
+			// model: Def. 2 admits a report only within Range, so a claimed
+			// mean a full σ_X below the range-edge level asserts an
+			// out-of-range target; and the spread floor is a small fraction
+			// of the fast-fading σ no honest k-instant sample can collapse
+			// under (P ≈ 3·10⁻⁵ for k=5) — jointly, an honest report
+			// essentially never trips the gate, preserving byte-identity.
+			if fast := cfg.Model.SigmaFast(); fast > 0 {
+				t.defense.SetRangeGate(
+					cfg.Model.MeanRSS(cfg.Range)-cfg.Model.SigmaX, fast/16)
+			}
+		}
 	}
 	if cfg.Obs != nil {
 		t.metrics = newTrackerMetrics(cfg.Obs)
 	}
 	return t, nil
 }
+
+// Defense exposes the tracker's Byzantine defense state (nil when no
+// DefenseConfig is armed); read-only accessors like Suspects and
+// NodeTrust are safe between localizations.
+func (t *Tracker) Defense() *byz.Defense { return t.defense }
 
 // FaultScheduler exposes the tracker's fault scheduler (nil when no
 // FaultScript is configured); callers driving Localize directly can
@@ -652,15 +697,48 @@ func (t *Tracker) pushHistory(pos geom.Point) {
 
 func (t *Tracker) localizeGroup(g *sampling.Group) Estimate {
 	v := t.samplingVector(g)
+	var w []float64
+	if t.defense != nil {
+		// Pre-match defense: run the range-plausibility gate over the raw
+		// reports, then snapshot them, quorum-correct or star out suspect
+		// pairs in place, and emit trust weights (nil while no node is
+		// suspect — the unmodified, byte-identical matcher path).
+		t.defense.ObserveGroup(g)
+		w = t.defense.Apply(v)
+	}
 	var r match.Result
 	if t.rec == nil {
-		r = t.matcher.Match(v, t.prev)
+		r = t.matchWeighted(v, t.prev, w)
 	} else {
 		msp := t.rec.Start(t.round, "match", "match")
-		r = t.matcher.Match(v, t.prev)
+		r = t.matchWeighted(v, t.prev, w)
 		endMatchSpan(msp, r)
 	}
+	if t.defense != nil {
+		// Post-match learning: charge inversion evidence from what the
+		// nodes reported against the face the round settled on.
+		t.defense.Observe(r.Face.Signature)
+	}
 	return t.finishMatch(v, g, r)
+}
+
+// matchWeighted dispatches one match with optional per-pair trust
+// weights. A nil w — the always case without a Defense, and the
+// honest-fleet fast path with one — runs the plain Matcher interface;
+// weighted matches go to the concrete matcher's MatchWeighted (Validate
+// rejects configurations whose matcher has none).
+func (t *Tracker) matchWeighted(v vector.Vector, prev *field.Face, w []float64) match.Result {
+	if w == nil {
+		return t.matcher.Match(v, prev)
+	}
+	switch m := t.matcher.(type) {
+	case *match.Heuristic:
+		return m.MatchWeighted(v, prev, w)
+	case *match.Exhaustive:
+		return m.MatchWeighted(v, prev, w)
+	default:
+		return t.matcher.Match(v, prev)
+	}
 }
 
 // samplingVector builds the group's sampling vector for the configured

@@ -50,6 +50,7 @@ type MultiTracker struct {
 	pend      []batchPending
 	laneVs    []vector.Vector
 	lanePrevs []*field.Face
+	laneWs    [][]float64
 	laneRes   []match.Result
 	metrics   *multiMetrics
 }
@@ -358,9 +359,9 @@ func (m *MultiTracker) localizeBatchWaves(reqs []LocalizeRequest, states map[str
 			ts.mu.Unlock()
 		}
 	}()
-	pend, vs, prevs := m.pend, m.laneVs, m.lanePrevs
+	pend, vs, prevs, ws := m.pend, m.laneVs, m.lanePrevs, m.laneWs
 	for wave := 0; ; wave++ {
-		pend, vs, prevs = pend[:0], vs[:0], prevs[:0]
+		pend, vs, prevs, ws = pend[:0], vs[:0], prevs[:0], ws[:0]
 		for _, id := range order {
 			ris := byTarget[id]
 			if wave >= len(ris) {
@@ -372,11 +373,15 @@ func (m *MultiTracker) localizeBatchWaves(reqs []LocalizeRequest, states map[str
 			pend = append(pend, p)
 			vs = append(vs, p.v)
 			prevs = append(prevs, p.prev)
+			ws = append(ws, p.w)
 		}
 		if len(pend) == 0 {
 			break
 		}
-		m.laneRes = m.bm.MatchBatch(m.laneRes[:0], vs, prevs)
+		// Weighted lanes (a defense with active suspects) take the float
+		// replay path; nil-weight lanes run the unweighted kernels, so
+		// without a Defense this is exactly MatchBatch.
+		m.laneRes = m.bm.MatchBatchWeighted(m.laneRes[:0], vs, prevs, ws)
 		for i := range pend {
 			p := &pend[i]
 			ests[p.reqIdx] = p.tr.batchFinish(p, m.laneRes[i])
@@ -386,7 +391,7 @@ func (m *MultiTracker) localizeBatchWaves(reqs []LocalizeRequest, states map[str
 			m.metrics.lanes.Add(float64(len(pend)))
 		}
 	}
-	m.pend, m.laneVs, m.lanePrevs = pend, vs, prevs
+	m.pend, m.laneVs, m.lanePrevs, m.laneWs = pend, vs, prevs, ws
 }
 
 // FaultScheduler exposes one target's fault scheduler (created on first

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fttt/internal/baseline"
+	"fttt/internal/byz"
+	"fttt/internal/core"
+	"fttt/internal/deploy"
+	"fttt/internal/faults"
+	"fttt/internal/field"
+	"fttt/internal/geom"
+	"fttt/internal/mobility"
+	"fttt/internal/randx"
+	"fttt/internal/sampling"
+	"fttt/internal/stats"
+)
+
+// ByzantineRow reports tracking quality at one malicious-node fraction
+// of the Byzantine sweep (DESIGN.md §15): a coalition of MaliciousFrac
+// of the deployment colludes on a decoy position from t=0, and the same
+// faulted samplings are tracked by FTTT with the byz defense armed,
+// vanilla FTTT, and the PM / Direct MLE baselines.
+type ByzantineRow struct {
+	// MaliciousFrac is the scripted colluding fraction; Colluders is the
+	// resulting coalition size (identical across trials — the scheduler
+	// rounds frac·n to a count).
+	MaliciousFrac float64
+	Colluders     int
+	// DefendedMean/P90 summarise the per-round error (m) of FTTT with
+	// the Byzantine defense; VanillaMean/P90 the same tracker without it.
+	DefendedMean float64
+	DefendedP90  float64
+	VanillaMean  float64
+	VanillaP90   float64
+	// DefendedSteadyMean/VanillaSteadyMean summarise the same runs after
+	// the first byzBurnIn rounds of each trial: the defense needs a few
+	// rounds of evidence before it convicts, so the full-run mean mixes
+	// the detector's transient with its converged behaviour while the
+	// steady-state mean isolates what the defense delivers once armed.
+	DefendedSteadyMean float64
+	VanillaSteadyMean  float64
+	// PMMean / DirectMLEMean are the baselines on the same samplings.
+	PMMean        float64
+	DirectMLEMean float64
+	// SuspectsMean is the mean number of nodes the defense holds flagged
+	// at end of run; SuspectsTruePos is the fraction of those flags that
+	// name scripted colluders (1 = no false accusations).
+	SuspectsMean    float64
+	SuspectsTruePos float64
+}
+
+// The Byzantine sweep runs a fixed adversarial scenario so that rows
+// differ only in the coalition size. The target patrols the main
+// diagonal corridor between byzPatrolA and byzPatrolB — an inset
+// ping-pong beat that keeps it inside the deployment's well-covered
+// interior — at a slow pinned speed (byzVMin..byzVMax m/s, below the
+// paper's 5 m/s cap) so each pass keeps the target inside a given
+// node's range for several consecutive rounds: exactly the regime where
+// a colluder gets to repeat its lie and the defense gets the repeated
+// evidence it needs. The coalition colludes on byzDecoy, a phantom
+// position beyond the field's south-east corner: far enough outside
+// that a colluder's claimed RSS (path loss to the decoy) is both a
+// large tracking distortion and physically implausible — below what any
+// in-range target could produce — while the rest of the deployment
+// still out-votes it.
+var (
+	byzPatrolA = geom.Pt(25, 25)
+	byzPatrolB = geom.Pt(75, 75)
+	byzDecoy   = geom.Pt(130, -30)
+)
+
+const (
+	byzVMin = 1.0
+	byzVMax = 2.0
+	// byzBurnIn is the number of initial rounds per trial excluded from
+	// the steady-state means (the defense's evidence-accumulation
+	// transient; cfg.MinRounds plus a conviction's worth of slack).
+	byzBurnIn = 20
+)
+
+// byzPatrol is the scenario's target route: ping-pong legs between the
+// corridor endpoints, with enough legs to outlast the run at the
+// maximum patrol speed.
+func byzPatrol(p Params) []geom.Point {
+	legs := int(p.Duration*byzVMax/byzPatrolA.Dist(byzPatrolB)) + 2
+	pts := []geom.Point{byzPatrolA}
+	for i := 0; i < legs; i++ {
+		if i%2 == 0 {
+			pts = append(pts, byzPatrolB)
+		} else {
+			pts = append(pts, byzPatrolA)
+		}
+	}
+	return pts
+}
+
+// ByzantineScript is the adversarial scenario the sweep injects: a
+// coalition of round(frac·n) nodes colludes on the decoy from t=0. The
+// coalition is chosen worst-case, not randomly: reporting is gated by
+// the true target distance, so a colluder only gets to tell its lie
+// while the target is genuinely nearby — picking the nodes closest to
+// the patrol corridor maximises the coalition's speaking time and
+// therefore its damage. Exported so the golden fixtures and docs can
+// replay the exact sweep scenario.
+func ByzantineScript(frac float64, nodes []geom.Point) (*faults.Script, error) {
+	coalition := worstCaseCoalition(frac, nodes)
+	if len(coalition) == 0 {
+		return faults.Parse(fmt.Sprintf("collude at=0 frac=0 x=%g y=%g", byzDecoy.X, byzDecoy.Y))
+	}
+	list := make([]string, len(coalition))
+	for i, c := range coalition {
+		list[i] = fmt.Sprint(c)
+	}
+	return faults.Parse(fmt.Sprintf("collude at=0 nodes=%s x=%g y=%g",
+		strings.Join(list, ","), byzDecoy.X, byzDecoy.Y))
+}
+
+// worstCaseCoalition returns the round(frac·n) node indices nearest the
+// patrol corridor segment, in index order (index tie-break, so the
+// choice is deterministic on the symmetric grid).
+func worstCaseCoalition(frac float64, nodes []geom.Point) []int {
+	count := int(math.Round(frac * float64(len(nodes))))
+	if count <= 0 {
+		return nil
+	}
+	if count > len(nodes) {
+		count = len(nodes)
+	}
+	corridor := geom.Segment{A: byzPatrolA, B: byzPatrolB}
+	idx := make([]int, len(nodes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := corridor.DistTo(nodes[idx[a]]), corridor.DistTo(nodes[idx[b]])
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b] // deterministic tie-break on the grid
+	})
+	coalition := append([]int(nil), idx[:count]...)
+	sort.Ints(coalition)
+	return coalition
+}
+
+// byzantineDivisions builds the shared field divisions once per sweep:
+// the deployment is a fixed grid, so every trial and fraction reuses the
+// same uncertain (FTTT) and certain (baselines) divisions.
+func byzantineDivisions(p Params, nodes []geom.Point) (uncertain, certain *field.Division, err error) {
+	rcU, err := field.NewRatioClassifier(nodes, p.Model.UncertaintyC(p.Epsilon))
+	if err != nil {
+		return nil, nil, err
+	}
+	uncertain, err = field.Divide(p.Field, rcU, p.CellSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	rcC, err := field.NewRatioClassifier(nodes, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	certain, err = field.Divide(p.Field, rcC, p.CellSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return uncertain, certain, nil
+}
+
+// byzTrial is one (fraction, trial) run: the shared faulted samplings
+// and every method's estimate series over them.
+type byzTrial struct {
+	trace    []geom.Point
+	times    []float64
+	defended []geom.Point
+	vanilla  []geom.Point
+	pm       []geom.Point
+	mle      []geom.Point
+	// suspects is the defense's end-of-run flag list; truePos counts how
+	// many of those are scripted colluders, colluders the coalition size.
+	suspects  []int
+	truePos   int
+	colluders int
+}
+
+// runByzantineTrial draws one trace + faulted sampling sequence and runs
+// all four methods over the identical groups — the fairness requirement
+// of the comparison. The trial substream is independent of frac, so rows
+// are paired: row-to-row differences isolate the coalition itself.
+func runByzantineTrial(p Params, nodes []geom.Point, frac float64, trial int,
+	uncertainDiv, certainDiv *field.Division) (*byzTrial, error) {
+	n := len(nodes)
+	root := randx.New(p.Seed).Split("byzantine")
+	rng := root.SplitN("trial", trial)
+
+	script, err := ByzantineScript(frac, nodes)
+	if err != nil {
+		return nil, err
+	}
+	sched := faults.New(*script, n, p.Seed+uint64(trial))
+	sched.SetGeometry(nodes, p.Model)
+
+	if p.LocPeriod <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive localization period %v", p.LocPeriod)
+	}
+	m := mobility.VariableSpeedWaypoints(byzPatrol(p), byzVMin, byzVMax, rng.Split("mobility"))
+	tps := mobility.Sample(m, p.Duration, 1/p.LocPeriod)
+
+	tr := &byzTrial{
+		trace: make([]geom.Point, len(tps)),
+		times: make([]float64, len(tps)),
+	}
+	// Collude is draw-preserving (PerturbRSS consumes no randomness), so
+	// the noise below is byte-identical across fractions of the sweep.
+	sampler := &sampling.Sampler{
+		Model: p.Model, Nodes: nodes, Range: p.Range, Epsilon: p.Epsilon,
+		Faults: sched,
+	}
+	groups := make([]*sampling.Group, len(tps))
+	g := rng.Split("groups")
+	for i, tp := range tps {
+		tr.trace[i] = tp.Pos
+		tr.times[i] = tp.T
+		sched.Seek(tp.T)
+		groups[i] = sampler.Sample(tp.Pos, p.K, g.SplitN("loc", i))
+	}
+	for i := 0; i < n; i++ {
+		if sched.Colluding(i) {
+			tr.colluders++
+		}
+	}
+
+	mkTracker := func(defend bool) (*core.Tracker, error) {
+		cfg := core.Config{
+			Field:         p.Field,
+			Nodes:         nodes,
+			Model:         p.Model,
+			Epsilon:       p.Epsilon,
+			SamplingTimes: p.K,
+			Range:         p.Range,
+			CellSize:      p.CellSize,
+			Obs:           p.Obs,
+		}
+		if defend {
+			cfg.Defense = &byz.Config{Enabled: true}
+		}
+		return core.NewWithDivision(cfg, uncertainDiv)
+	}
+	defended, err := mkTracker(true)
+	if err != nil {
+		return nil, err
+	}
+	vanilla, err := mkTracker(false)
+	if err != nil {
+		return nil, err
+	}
+	pm, err := baseline.NewPMWithDivision(certainDiv, nodes, baseline.PMConfig{
+		MaxVelocity: byzVMax,
+		Period:      p.LocPeriod,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mle := baseline.NewDirectMLEWithDivision(certainDiv, nodes)
+
+	tr.defended = make([]geom.Point, len(groups))
+	tr.vanilla = make([]geom.Point, len(groups))
+	tr.pm = make([]geom.Point, len(groups))
+	tr.mle = make([]geom.Point, len(groups))
+	for i, grp := range groups {
+		tr.defended[i] = defended.LocalizeGroup(grp).Pos
+		tr.vanilla[i] = vanilla.LocalizeGroup(grp).Pos
+		tr.pm[i] = pm.LocalizeGroup(grp)
+		tr.mle[i] = mle.LocalizeGroup(grp)
+	}
+	tr.suspects = defended.Defense().Suspects()
+	for _, s := range tr.suspects {
+		if sched.Colluding(s) {
+			tr.truePos++
+		}
+	}
+	return tr, nil
+}
+
+func (tr *byzTrial) errorsOf(est []geom.Point) []float64 {
+	errs := make([]float64, len(est))
+	for i := range est {
+		errs[i] = est[i].Dist(tr.trace[i])
+	}
+	return errs
+}
+
+// steadyErrorsOf is errorsOf restricted to rounds past the burn-in.
+func (tr *byzTrial) steadyErrorsOf(est []geom.Point) []float64 {
+	errs := tr.errorsOf(est)
+	if len(errs) <= byzBurnIn {
+		return errs
+	}
+	return errs[byzBurnIn:]
+}
+
+// Byzantine sweeps the colluding-node fraction against tracking error:
+// the accuracy-versus-fraction-of-malicious-nodes curves of DESIGN.md
+// §15. Each trial deploys n nodes on a grid (a fixed geometry isolates
+// the attack variable from deployment luck and lets the field division
+// be shared), runs the pinned diagonal patrol for p.Duration, and feeds
+// the identical colluder-corrupted samplings to defended FTTT, vanilla
+// FTTT, PM and Direct MLE. With frac=0 the defended and vanilla series
+// are byte-identical (the honest byte-identity contract); past n/2
+// colluders no voting scheme can help (the k-malicious bound of Delaët
+// et al.), so sweeps stay below 0.5.
+func Byzantine(p Params, n int, fracs []float64) ([]ByzantineRow, error) {
+	nodes := deploy.Grid(p.Field, n).Positions()
+	uncertainDiv, certainDiv, err := byzantineDivisions(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ByzantineRow, 0, len(fracs))
+	for _, frac := range fracs {
+		agg := ByzantineRow{MaliciousFrac: frac}
+		var def, van, pms, mles []float64
+		var defS, vanS []float64
+		flagged, truePos := 0, 0
+		for trial := 0; trial < p.Trials; trial++ {
+			tr, err := runByzantineTrial(p, nodes, frac, trial, uncertainDiv, certainDiv)
+			if err != nil {
+				return nil, err
+			}
+			def = append(def, tr.errorsOf(tr.defended)...)
+			van = append(van, tr.errorsOf(tr.vanilla)...)
+			defS = append(defS, tr.steadyErrorsOf(tr.defended)...)
+			vanS = append(vanS, tr.steadyErrorsOf(tr.vanilla)...)
+			pms = append(pms, tr.errorsOf(tr.pm)...)
+			mles = append(mles, tr.errorsOf(tr.mle)...)
+			flagged += len(tr.suspects)
+			truePos += tr.truePos
+			agg.Colluders = tr.colluders
+		}
+		agg.DefendedMean = stats.Mean(def)
+		agg.DefendedP90 = stats.Percentile(def, 90)
+		agg.VanillaMean = stats.Mean(van)
+		agg.VanillaP90 = stats.Percentile(van, 90)
+		agg.DefendedSteadyMean = stats.Mean(defS)
+		agg.VanillaSteadyMean = stats.Mean(vanS)
+		agg.PMMean = stats.Mean(pms)
+		agg.DirectMLEMean = stats.Mean(mles)
+		agg.SuspectsMean = float64(flagged) / float64(p.Trials)
+		if flagged > 0 {
+			agg.SuspectsTruePos = float64(truePos) / float64(flagged)
+		}
+		rows = append(rows, agg)
+	}
+	return rows, nil
+}
+
+// ByzantineExampleResult is one representative trial of the sweep as
+// plottable track series (the Fig. 10-style panels of the defense).
+type ByzantineExampleResult struct {
+	Nodes    []geom.Point
+	Defended TrackedSeries
+	Vanilla  TrackedSeries
+}
+
+// ByzantineExample reruns trial 0 of the sweep at the given fraction and
+// returns the defended and vanilla FTTT tracks for rendering.
+func ByzantineExample(p Params, n int, frac float64) (*ByzantineExampleResult, error) {
+	nodes := deploy.Grid(p.Field, n).Positions()
+	uncertainDiv, certainDiv, err := byzantineDivisions(p, nodes)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := runByzantineTrial(p, nodes, frac, 0, uncertainDiv, certainDiv)
+	if err != nil {
+		return nil, err
+	}
+	mkSeries := func(m Method, est []geom.Point) TrackedSeries {
+		errs := tr.errorsOf(est)
+		return TrackedSeries{
+			Method:    m,
+			Times:     tr.times,
+			True:      tr.trace,
+			Estimates: est,
+			Errors:    errs,
+			Summary:   stats.Summarize(errs),
+		}
+	}
+	return &ByzantineExampleResult{
+		Nodes:    nodes,
+		Defended: mkSeries(FTTTDefended, tr.defended),
+		Vanilla:  mkSeries(FTTTBasic, tr.vanilla),
+	}, nil
+}

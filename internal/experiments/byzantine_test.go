@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fttt/internal/deploy"
+)
+
+// byzTestParams is the pinned acceptance scenario for the Byzantine
+// sweep: the full 60 s patrol at fine cell resolution, five trials.
+// (Quick()'s 12 s runs end inside the defense's burn-in, so the
+// acceptance bound is asserted on the real scenario.)
+func byzTestParams() Params {
+	p := Quick()
+	p.Duration = 60
+	p.CellSize = 1
+	p.Trials = 5
+	p.Seed = 1
+	return p
+}
+
+// TestWorstCaseCoalitionPicksCorridor pins the coalition choice on the
+// 16-node grid: at frac 0.2 the three corridor-nearest nodes are the
+// two on the patrol diagonal (5, 10) plus the index tie-break winner
+// of the equidistant corner pair (0 over 15).
+func TestWorstCaseCoalitionPicksCorridor(t *testing.T) {
+	p := byzTestParams()
+	nodes := deploy.Grid(p.Field, 16).Positions()
+	got := worstCaseCoalition(0.2, nodes)
+	want := []int{0, 5, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("worstCaseCoalition(0.2) = %v, want %v", got, want)
+	}
+	if c := worstCaseCoalition(0, nodes); c != nil {
+		t.Fatalf("worstCaseCoalition(0) = %v, want nil", c)
+	}
+	if c := worstCaseCoalition(2, nodes); len(c) != 16 {
+		t.Fatalf("worstCaseCoalition(2) kept %d nodes, want all 16", len(c))
+	}
+}
+
+// TestByzantineSweep is the acceptance contract of the Byzantine
+// defense (ISSUE 9): with no colluders the defended tracker is
+// byte-identical to vanilla FTTT, and with a 20% worst-case coalition
+// the defended steady-state error is at most half the undefended one,
+// with every end-of-run suspect a scripted colluder.
+func TestByzantineSweep(t *testing.T) {
+	p := byzTestParams()
+	rows, err := Byzantine(p, 16, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest, attacked := rows[0], rows[1]
+
+	if honest.Colluders != 0 {
+		t.Fatalf("frac 0 scripted %d colluders", honest.Colluders)
+	}
+	if honest.DefendedMean != honest.VanillaMean ||
+		honest.DefendedSteadyMean != honest.VanillaSteadyMean ||
+		honest.DefendedP90 != honest.VanillaP90 {
+		t.Errorf("honest runs diverged: defended mean=%.6f steady=%.6f p90=%.6f vs vanilla mean=%.6f steady=%.6f p90=%.6f",
+			honest.DefendedMean, honest.DefendedSteadyMean, honest.DefendedP90,
+			honest.VanillaMean, honest.VanillaSteadyMean, honest.VanillaP90)
+	}
+	if honest.SuspectsMean != 0 {
+		t.Errorf("honest runs flagged %.1f suspects per trial", honest.SuspectsMean)
+	}
+
+	if attacked.Colluders != 3 {
+		t.Fatalf("frac 0.2 scripted %d colluders, want 3", attacked.Colluders)
+	}
+	if attacked.DefendedSteadyMean > 0.5*attacked.VanillaSteadyMean {
+		t.Errorf("defended steady-state error %.2f > 0.5 x vanilla %.2f",
+			attacked.DefendedSteadyMean, attacked.VanillaSteadyMean)
+	}
+	if attacked.DefendedMean >= attacked.VanillaMean {
+		t.Errorf("defended full-run mean %.2f not below vanilla %.2f",
+			attacked.DefendedMean, attacked.VanillaMean)
+	}
+	if attacked.SuspectsMean <= 0 {
+		t.Errorf("no suspects flagged under a 3-node coalition")
+	}
+	if attacked.SuspectsTruePos != 1 {
+		t.Errorf("SuspectsTruePos = %.2f, want 1 (no false accusations)", attacked.SuspectsTruePos)
+	}
+	t.Logf("frac 0.2: defended mean=%.2f steady=%.2f | vanilla mean=%.2f steady=%.2f | suspects/trial=%.1f truePos=%.2f",
+		attacked.DefendedMean, attacked.DefendedSteadyMean,
+		attacked.VanillaMean, attacked.VanillaSteadyMean,
+		attacked.SuspectsMean, attacked.SuspectsTruePos)
+}

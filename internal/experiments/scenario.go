@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fttt/internal/baseline"
+	"fttt/internal/byz"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/field"
@@ -31,6 +32,7 @@ const (
 	Trilateration // range-based Gauss-Newton least squares
 	FTTTKalman    // basic FTTT + constant-velocity Kalman smoother
 	FTTTParticle  // basic FTTT + bootstrap particle smoother
+	FTTTDefended  // basic FTTT + Byzantine-sensing defense (internal/byz)
 )
 
 // String implements fmt.Stringer.
@@ -54,6 +56,8 @@ func (m Method) String() string {
 		return "FTTT+KF"
 	case FTTTParticle:
 		return "FTTT+PF"
+	case FTTTDefended:
+		return "FTTT+byz"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -174,7 +178,7 @@ func (s *scenario) Run(methods ...Method) (map[Method][]geom.Point, error) {
 	for _, m := range methods {
 		est := make([]geom.Point, len(s.trace))
 		switch m {
-		case FTTTBasic, FTTTExtended, FTTTKalman, FTTTParticle:
+		case FTTTBasic, FTTTExtended, FTTTKalman, FTTTParticle, FTTTDefended:
 			cfg := core.Config{
 				Field:         s.p.Field,
 				Nodes:         s.nodes,
@@ -187,6 +191,9 @@ func (s *scenario) Run(methods ...Method) (map[Method][]geom.Point, error) {
 			}
 			if m == FTTTExtended {
 				cfg.Variant = core.Extended
+			}
+			if m == FTTTDefended {
+				cfg.Defense = &byz.Config{Enabled: true}
 			}
 			tr, err := core.NewWithDivision(cfg, uncertainDiv)
 			if err != nil {

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/rf"
+)
+
+// TestParseAdversarialDirectives checks the script forms of the spoof /
+// invert / collude directives and their validation errors.
+func TestParseAdversarialDirectives(t *testing.T) {
+	s, err := Parse(`
+		spoof   at=5 frac=0.2 bias=15
+		spoof   at=6 nodes=1,2 rss=-35
+		invert  at=7 nodes=3 pivot=-60
+		invert  at=8 frac=0.1
+		collude at=9 frac=0.25 x=80 y=70
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(s.Events))
+	}
+	if s.Events[0].Kind != Spoof || s.Events[0].Bias != 15 || s.Events[0].Fixed != nil {
+		t.Errorf("bias spoof parsed as %+v", s.Events[0])
+	}
+	if s.Events[1].Fixed == nil || *s.Events[1].Fixed != -35 {
+		t.Errorf("fixed spoof parsed as %+v", s.Events[1])
+	}
+	if s.Events[2].Kind != Invert || s.Events[2].Pivot == nil || *s.Events[2].Pivot != -60 {
+		t.Errorf("invert parsed as %+v", s.Events[2])
+	}
+	if s.Events[3].Pivot != nil {
+		t.Errorf("pivotless invert should keep Pivot nil, got %v", *s.Events[3].Pivot)
+	}
+	if ev := s.Events[4]; ev.Kind != Collude || ev.DecoyX != 80 || ev.DecoyY != 70 {
+		t.Errorf("collude parsed as %+v", ev)
+	}
+
+	for _, bad := range []string{
+		"spoof at=1 frac=0.2",               // neither bias nor rss
+		"spoof at=1 frac=0.2 bias=3 rss=-5", // both
+		"collude at=1 frac=0.2 x=1 y=2 recover=9",
+		"spooof at=1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestAdversarialPerturbComposition pins the PerturbRSS composition
+// order: drift/skew first, then fixed spoof, bias spoof, invert, and a
+// collude takeover overriding everything.
+func TestAdversarialPerturbComposition(t *testing.T) {
+	mk := func(text string) *Scheduler {
+		script, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(*script, 4, 1)
+	}
+
+	s := mk("spoof at=0 nodes=0 rss=-35")
+	if got := s.PerturbRSS(0, -80); got != -35 {
+		t.Errorf("fixed spoof: got %v, want -35", got)
+	}
+	if got := s.PerturbRSS(1, -80); got != -80 {
+		t.Errorf("untargeted node perturbed: got %v", got)
+	}
+
+	s = mk("spoof at=0 nodes=0 bias=10\nspoof at=1 nodes=0 bias=5")
+	s.Seek(2)
+	if got := s.PerturbRSS(0, -80); got != -65 {
+		t.Errorf("stacked bias spoof: got %v, want -65", got)
+	}
+
+	s = mk("invert at=0 nodes=0 pivot=-60")
+	if got := s.PerturbRSS(0, -80); got != -40 {
+		t.Errorf("invert: got %v, want -40 (mirror of -80 around -60)", got)
+	}
+
+	// Default pivot without geometry is a fixed constant; with geometry
+	// it is the model's mid-range mean RSS.
+	s = mk("invert at=0 nodes=0")
+	if got, want := s.PerturbRSS(0, -55), -55.0; got != want {
+		t.Errorf("default-pivot invert of the pivot itself moved: got %v", got)
+	}
+	s.SetGeometry([]geom.Point{{X: 0, Y: 0}, {}, {}, {}}, rf.Default())
+	p := rf.Default().MeanRSS(20)
+	if got, want := s.PerturbRSS(0, p), p; got != want {
+		t.Errorf("geometry default pivot: got %v, want %v", got, want)
+	}
+
+	// Colluders report the decoy-consistent mean RSS regardless of input.
+	s = mk("collude at=0 nodes=0 x=30 y=40")
+	s.SetGeometry([]geom.Point{{X: 0, Y: 0}, {}, {}, {}}, rf.Default())
+	want := rf.Default().MeanRSS(50) // dist((0,0),(30,40)) = 50
+	if got := s.PerturbRSS(0, -999); got != want {
+		t.Errorf("collude: got %v, want %v", got, want)
+	}
+	for _, in := range []float64{-90, -40, 12} {
+		if got := s.PerturbRSS(0, in); got != want {
+			t.Errorf("collude(%v): got %v, want constant %v", in, got, want)
+		}
+	}
+	// Without geometry the fallback is a fixed strong RSS.
+	s = mk("collude at=0 nodes=0 x=30 y=40")
+	if got := s.PerturbRSS(0, -90); got != -30 {
+		t.Errorf("geometry-less collude fallback: got %v, want -30", got)
+	}
+}
+
+// TestAdversarialFractionTargets checks that fraction-targeted
+// adversarial events draw their node sets from the same per-event
+// substream mechanism as crashes: deterministic in (script, n, seed).
+func TestAdversarialFractionTargets(t *testing.T) {
+	script, err := Parse("collude at=0 frac=0.5 x=10 y=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(*script, 10, 7), New(*script, 10, 7)
+	var setA, setB []int
+	for i := 0; i < 10; i++ {
+		if a.colludeOn[i] {
+			setA = append(setA, i)
+		}
+		if b.colludeOn[i] {
+			setB = append(setB, i)
+		}
+	}
+	if len(setA) != 5 {
+		t.Fatalf("frac=0.5 of 10 nodes targeted %d", len(setA))
+	}
+	for i := range setA {
+		if setA[i] != setB[i] {
+			t.Fatalf("same (script,n,seed) picked different sets: %v vs %v", setA, setB)
+		}
+	}
+	c := New(*script, 10, 8)
+	diff := false
+	for i := 0; i < 10; i++ {
+		if c.colludeOn[i] != a.colludeOn[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("seed change picked the same collusion set (possible, just unlikely)")
+	}
+}

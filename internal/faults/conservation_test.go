@@ -1,0 +1,111 @@
+package faults
+
+import (
+	"testing"
+
+	"fttt/internal/geom"
+	"fttt/internal/randx"
+	"fttt/internal/rf"
+	"fttt/internal/sampling"
+)
+
+// TestAdversarialDrawConservation pins the draw-preservation contract
+// of every adversarial behavior: arming spoof (bias and fixed), invert
+// or collude against a no-op script must leave the sampler's whole
+// random draw sequence untouched. The observable is strict: over a
+// multi-round run the faulted and no-op samplers must produce identical
+// Reported sets and byte-identical RSS for every untargeted node, round
+// for round and instant for instant — any hidden draw (a Bernoulli on
+// the loss stream, an extra Normal on a noise substream) would shift an
+// untargeted column and fail the comparison. This is the property the
+// Byzantine sweep's pairing leans on: the same trial noise is replayed
+// byte-identically across coalition sizes.
+func TestAdversarialDrawConservation(t *testing.T) {
+	const (
+		n      = 16
+		k      = 5
+		rounds = 12
+		seed   = 31
+	)
+	nodes := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, geom.Pt(float64(i%4)*25+12.5, float64(i/4)*25+12.5))
+	}
+	model := rf.Default()
+
+	// One target position per round, crossing the deployment so both
+	// in-range and out-of-range nodes occur.
+	targets := make([]geom.Point, rounds)
+	for r := range targets {
+		targets[r] = geom.Pt(10+float64(r)*6, 15+float64(r)*5)
+	}
+
+	run := func(text string) [][]*sampling.Group {
+		var sched *Scheduler
+		if text != "" {
+			script, err := Parse(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched = New(*script, n, seed)
+			sched.SetGeometry(nodes, model)
+		} else {
+			sched = New(Script{}, n, seed)
+		}
+		s := &sampling.Sampler{
+			Model: model, Nodes: nodes, Range: 40, Epsilon: 1,
+			ReportLoss: 0.1, // a live loss process makes stream shifts visible
+			Faults:     sched,
+		}
+		rng := randx.New(77).Split("conservation")
+		out := make([][]*sampling.Group, 1)
+		for r := 0; r < rounds; r++ {
+			sched.Seek(float64(r))
+			out[0] = append(out[0], s.Sample(targets[r], k, rng.SplitN("loc", r)))
+		}
+		return out
+	}
+
+	base := run("")
+
+	cases := []struct {
+		name, script string
+		targeted     []int
+	}{
+		{"spoof-bias", "spoof at=0 nodes=2,7 bias=12", []int{2, 7}},
+		{"spoof-fixed", "spoof at=0 nodes=3 rss=-70", []int{3}},
+		{"invert", "invert at=0 nodes=1,5 pivot=-60", []int{1, 5}},
+		{"invert-default-pivot", "invert at=0 nodes=9", []int{9}},
+		{"collude", "collude at=0 nodes=0,5,10 x=130 y=-30", []int{0, 5, 10}},
+		{"all-composed",
+			"spoof at=0 nodes=2 bias=12; invert at=2 nodes=1; collude at=3 nodes=10 x=130 y=-30",
+			[]int{1, 2, 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hit := map[int]bool{}
+			for _, i := range tc.targeted {
+				hit[i] = true
+			}
+			got := run(tc.script)
+			for r := 0; r < rounds; r++ {
+				bg, fg := base[0][r], got[0][r]
+				for i := 0; i < n; i++ {
+					if bg.Reported[i] != fg.Reported[i] {
+						t.Fatalf("round %d node %d: reporting diverged (%v vs %v) — the behavior consumed a loss draw",
+							r, i, bg.Reported[i], fg.Reported[i])
+					}
+					if hit[i] {
+						continue
+					}
+					for inst := 0; inst < k; inst++ {
+						if bg.RSS[inst][i] != fg.RSS[inst][i] {
+							t.Fatalf("round %d node %d instant %d: untargeted RSS diverged (%v vs %v) — the behavior consumed a noise draw",
+								r, i, inst, bg.RSS[inst][i], fg.RSS[inst][i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

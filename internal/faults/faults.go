@@ -4,7 +4,9 @@ import (
 	"math"
 	"sort"
 
+	"fttt/internal/geom"
 	"fttt/internal/randx"
+	"fttt/internal/rf"
 	"fttt/internal/sampling"
 	"fttt/internal/wsnnet"
 )
@@ -42,6 +44,28 @@ type Scheduler struct {
 	// geBad[i] is node i's Gilbert–Elliott channel state.
 	geBad []bool
 
+	// Adversarial per-node state (DESIGN.md §15). All of it feeds the
+	// PerturbRSS composition, which draws no randomness — arming any of
+	// these behaviors never shifts the benign noise streams.
+	//
+	// spoofBias[i] is an additive RSS offset; spoofFixedOn[i] replaces
+	// node i's RSS with spoofFixedVal[i] outright.
+	spoofBias     []float64
+	spoofFixedOn  []bool
+	spoofFixedVal []float64
+	// invertOn[i] mirrors node i's RSS around invertPivot[i] (NaN selects
+	// the deployment-scale default at perturbation time).
+	invertOn    []bool
+	invertPivot []float64
+	// colludeOn[i] makes node i report the RSS of a target at its decoy.
+	colludeOn      []bool
+	decoyX, decoyY []float64
+	// nodes/model are the optional deployment geometry (SetGeometry) the
+	// Collude behavior needs to synthesize decoy-consistent RSS.
+	nodes   []geom.Point
+	model   rf.Model
+	hasGeom bool
+
 	// events is the substream that picks fraction-targeted node sets;
 	// event idx always draws from SplitN("event", idx) so application
 	// order cannot perturb the selection.
@@ -60,15 +84,23 @@ var (
 // same fault timeline.
 func New(script Script, n int, seed uint64) *Scheduler {
 	s := &Scheduler{
-		script:    script,
-		n:         n,
-		crashed:   make([]bool, n),
-		recoverAt: make([]float64, n),
-		killed:    make([]bool, n),
-		scale:     make([]float64, n),
-		driftRate: make([]float64, n),
-		skewBias:  make([]float64, n),
-		geBad:     make([]bool, n),
+		script:        script,
+		n:             n,
+		crashed:       make([]bool, n),
+		recoverAt:     make([]float64, n),
+		killed:        make([]bool, n),
+		scale:         make([]float64, n),
+		driftRate:     make([]float64, n),
+		skewBias:      make([]float64, n),
+		geBad:         make([]bool, n),
+		spoofBias:     make([]float64, n),
+		spoofFixedOn:  make([]bool, n),
+		spoofFixedVal: make([]float64, n),
+		invertOn:      make([]bool, n),
+		invertPivot:   make([]float64, n),
+		colludeOn:     make([]bool, n),
+		decoyX:        make([]float64, n),
+		decoyY:        make([]float64, n),
 	}
 	root := randx.New(seed).Split("faults")
 	s.events = root.Split("events")
@@ -156,6 +188,25 @@ func (s *Scheduler) apply(idx int) {
 			s.recoverAt[i] = math.Inf(1)
 		case Drain:
 			s.scale[i] = ev.Factor
+		case Spoof:
+			if ev.Fixed != nil {
+				s.spoofFixedOn[i] = true
+				s.spoofFixedVal[i] = *ev.Fixed
+				s.spoofBias[i] = 0
+			} else {
+				s.spoofBias[i] += ev.Bias // later spoofs stack their biases
+			}
+		case Invert:
+			s.invertOn[i] = true
+			if ev.Pivot != nil {
+				s.invertPivot[i] = *ev.Pivot
+			} else {
+				s.invertPivot[i] = math.NaN() // deployment default, resolved lazily
+			}
+		case Collude:
+			s.colludeOn[i] = true
+			s.decoyX[i] = ev.DecoyX
+			s.decoyY[i] = ev.DecoyY
 		}
 	}
 }
@@ -245,11 +296,76 @@ func (s *Scheduler) DropReport(node int, rng *randx.Stream) bool {
 	return false
 }
 
-// PerturbRSS implements both hooks' calibration fault: linear drift
-// slope_i·t plus the clock-skew RSS bias.
+// SetGeometry attaches the deployment geometry — node positions and the
+// RF model — that the Collude behavior needs to synthesize the RSS a
+// target at the decoy point would produce (and that Invert uses to pick
+// its default mirror pivot). core.NewWithDivision calls it automatically;
+// schedulers without geometry degrade gracefully (see colludeRSS).
+// Geometry never influences random draws, so setting it preserves the
+// draw-conservation contract.
+func (s *Scheduler) SetGeometry(nodes []geom.Point, model rf.Model) {
+	s.nodes = nodes
+	s.model = model
+	s.hasGeom = len(nodes) > 0
+}
+
+// Colluding reports whether node i is currently executing the Collude
+// behavior (reporting decoy-consistent RSS instead of measurements).
+// Experiment harnesses use it as the detection ground truth when scoring
+// a defense's suspect list against the scripted adversary set.
+func (s *Scheduler) Colluding(i int) bool {
+	return i >= 0 && i < s.n && s.colludeOn[i]
+}
+
+// defaultPivot is the Invert mirror point when the script gives none:
+// the model's mean RSS at a mid-range sensing distance (20 m) when the
+// geometry is known, else a plausible constant for the default model.
+func (s *Scheduler) defaultPivot() float64 {
+	if s.hasGeom {
+		return s.model.MeanRSS(20)
+	}
+	return -55
+}
+
+// colludeRSS is the RSS colluding node i reports: what it would measure
+// with the target sitting at the decoy point. Without geometry the
+// colluders fall back to a fixed strong RSS — still a coordinated lie,
+// just not a geometrically consistent one.
+func (s *Scheduler) colludeRSS(node int) float64 {
+	if !s.hasGeom || node >= len(s.nodes) {
+		return -30
+	}
+	d := s.nodes[node].Dist(geom.Pt(s.decoyX[node], s.decoyY[node]))
+	return s.model.MeanRSS(d)
+}
+
+// PerturbRSS implements both hooks' RSS corruption. The benign
+// calibration faults apply first (linear drift slope_i·t plus the
+// clock-skew bias), then the adversarial transformations in a fixed
+// composition order: fixed spoof replaces, bias spoof adds, invert
+// mirrors around its pivot, and collude — a full takeover of the node's
+// radio front-end — overrides everything with the decoy-consistent
+// value. The whole chain is a pure function of (node, rss, virtual
+// time): no randomness is consumed, so adversarial scripts never shift
+// the benign noise streams (the draw-conservation contract).
 func (s *Scheduler) PerturbRSS(node int, rss float64) float64 {
 	if node < 0 || node >= s.n {
 		return rss
 	}
-	return rss + s.driftRate[node]*s.now + s.skewBias[node]
+	rss += s.driftRate[node]*s.now + s.skewBias[node]
+	if s.spoofFixedOn[node] {
+		rss = s.spoofFixedVal[node]
+	}
+	rss += s.spoofBias[node]
+	if s.invertOn[node] {
+		p := s.invertPivot[node]
+		if math.IsNaN(p) {
+			p = s.defaultPivot()
+		}
+		rss = 2*p - rss
+	}
+	if s.colludeOn[node] {
+		rss = s.colludeRSS(node)
+	}
+	return rss
 }

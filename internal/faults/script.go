@@ -6,6 +6,14 @@
 // into a Scheduler that plugs into wsnnet.Network (FaultInjector) and
 // sampling.Sampler (SampleFaults) through their nil-is-off hooks.
 //
+// Beyond the benign repertoire, the script language also expresses
+// adversarial sensing (DESIGN.md §15): spoofed RSS (fixed or biased),
+// inverted pair reports, and colluding node sets that steer estimates
+// toward a decoy point. The adversarial behaviors are pure RSS
+// transformations applied in PerturbRSS — they consume no random draws,
+// so arming them never shifts the benign noise streams (the
+// draw-conservation contract the adversarial differential tests pin).
+//
 // Everything is driven by randx substreams split from one seed, so a
 // given (script, node count, seed) triple always produces the same
 // fault timeline regardless of how the simulation around it is
@@ -34,6 +42,20 @@ const (
 	// Event.At on — accelerated battery depletion from a degraded cell
 	// or a chattering radio.
 	Drain
+	// Spoof makes the selected nodes report adversarial RSS from Event.At
+	// on: a fixed replacement value (Fixed) or an additive bias (Bias) —
+	// a compromised mote lying about signal strength.
+	Spoof
+	// Invert mirrors the selected nodes' RSS around a pivot
+	// (rss' = 2·pivot − rss), flipping the node's pair-order reports far
+	// beyond the benign flip-ratio model of Defs. 6–10.
+	Invert
+	// Collude makes the selected nodes report the RSS a target sitting at
+	// the decoy point (DecoyX, DecoyY) would produce — a coordinated set
+	// steering the estimate toward the decoy. Requires the scheduler's
+	// geometry (Scheduler.SetGeometry); without it the colluders fall back
+	// to a fixed strong RSS.
+	Collude
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +67,12 @@ func (k EventKind) String() string {
 		return "revive"
 	case Drain:
 		return "drain"
+	case Spoof:
+		return "spoof"
+	case Invert:
+		return "invert"
+	case Collude:
+		return "collude"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -68,6 +96,17 @@ type Event struct {
 	RecoverAt float64
 	// Factor is the Drain energy multiplier (> 1 accelerates depletion).
 	Factor float64
+	// Bias is the Spoof additive RSS offset in dB (spoof bias=).
+	Bias float64
+	// Fixed, for Spoof events, replaces the node's RSS outright
+	// (spoof rss=); nil selects the additive-bias form.
+	Fixed *float64
+	// Pivot, for Invert events, is the mirror point in dBm
+	// (invert pivot=); nil selects a deployment-scale default at
+	// application time.
+	Pivot *float64
+	// DecoyX, DecoyY are the Collude decoy-point coordinates.
+	DecoyX, DecoyY float64
 }
 
 // Burst parameterises the Gilbert–Elliott two-state loss channel: each
@@ -139,6 +178,21 @@ func (s *Script) Validate() error {
 		if ev.Kind != Crash && ev.RecoverAt != 0 {
 			return fmt.Errorf("faults: event %d: recover only applies to crash events", i)
 		}
+		if ev.Kind == Spoof {
+			if ev.Fixed == nil && ev.Bias == 0 {
+				return fmt.Errorf("faults: event %d: spoof needs bias= or rss=", i)
+			}
+			if ev.Fixed != nil && ev.Bias != 0 {
+				return fmt.Errorf("faults: event %d: spoof takes bias= or rss=, not both", i)
+			}
+			if ev.Fixed != nil && math.IsNaN(*ev.Fixed) {
+				return fmt.Errorf("faults: event %d: spoof rss is NaN", i)
+			}
+		}
+		if math.IsNaN(ev.Bias) || (ev.Pivot != nil && math.IsNaN(*ev.Pivot)) ||
+			math.IsNaN(ev.DecoyX) || math.IsNaN(ev.DecoyY) {
+			return fmt.Errorf("faults: event %d: NaN parameter", i)
+		}
 	}
 	if b := s.Burst; b != nil {
 		for _, p := range []struct {
@@ -165,12 +219,15 @@ func (s *Script) Validate() error {
 // Parse reads the scenario-script text format: one directive per line
 // (';' also separates directives), '#' starts a comment. Directives:
 //
-//	crash  at=20 frac=0.3 [recover=40]   # or nodes=1,4,7
-//	revive at=45 nodes=1,4
-//	drain  at=10 factor=5 [frac=0.5 | nodes=...]
-//	burst  pgb=0.05 pbg=0.5 loss=0.9 [from=0]
-//	drift  sigma=0.2
-//	skew   max=0.02 [slew=20]
+//	crash   at=20 frac=0.3 [recover=40]   # or nodes=1,4,7
+//	revive  at=45 nodes=1,4
+//	drain   at=10 factor=5 [frac=0.5 | nodes=...]
+//	burst   pgb=0.05 pbg=0.5 loss=0.9 [from=0]
+//	drift   sigma=0.2
+//	skew    max=0.02 [slew=20]
+//	spoof   at=0 frac=0.2 bias=15        # or rss=-35 for a fixed value
+//	invert  at=0 nodes=3 [pivot=-60]
+//	collude at=0 frac=0.2 x=80 y=80      # decoy point the set steers toward
 //
 // Events keep their input order within equal times.
 func Parse(text string) (*Script, error) {
@@ -190,7 +247,7 @@ func Parse(text string) (*Script, error) {
 			return nil, fmt.Errorf("faults: line %d: %v", ln+1, err)
 		}
 		switch fields[0] {
-		case "crash", "revive", "drain":
+		case "crash", "revive", "drain", "spoof", "invert", "collude":
 			ev := Event{
 				At:        kv.f("at", 0),
 				Fraction:  kv.f("frac", 0),
@@ -207,6 +264,17 @@ func Parse(text string) (*Script, error) {
 				if ev.Factor == 0 {
 					ev.Factor = 2
 				}
+			case "spoof":
+				ev.Kind = Spoof
+				ev.Bias = kv.f("bias", 0)
+				ev.Fixed = kv.fp("rss")
+			case "invert":
+				ev.Kind = Invert
+				ev.Pivot = kv.fp("pivot")
+			case "collude":
+				ev.Kind = Collude
+				ev.DecoyX = kv.f("x", 0)
+				ev.DecoyY = kv.f("y", 0)
 			}
 			if nodes, ok := kv.raw["nodes"]; ok {
 				kv.used["nodes"] = true
@@ -291,6 +359,16 @@ func (a *args) f(key string, def float64) float64 {
 		return math.NaN() // surfaces through Validate
 	}
 	return x
+}
+
+// fp returns a pointer to the float value of key, or nil when absent —
+// for parameters whose zero value is meaningful (a 0 dBm spoof RSS).
+func (a *args) fp(key string) *float64 {
+	if _, ok := a.raw[key]; !ok {
+		return nil
+	}
+	x := a.f(key, 0)
+	return &x
 }
 
 // unused reports keys no directive consumed — catches typos like

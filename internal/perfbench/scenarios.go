@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"fttt/internal/byz"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/experiments"
@@ -111,6 +112,12 @@ func Suite() []Scenario {
 			Summary: "one match.Batch.MatchBatch pass over 64 mixed-start ternary lanes (SoA bitplane kernel)",
 			MapsTo:  "Sec. 4.4 matching as a data-layout problem; DESIGN.md §14 (>4× per vector vs match/heuristic)",
 			setup:   setupHeuristicMatchBatch64,
+		},
+		{
+			Name: "core/localize-defended", Kind: KindMacro, Seed: 7,
+			Summary: "core/localize with the Byzantine defense armed (honest run: evidence bookkeeping, no reweighting)",
+			MapsTo:  "DESIGN.md §15 defense overhead contract (< 15% over core/localize)",
+			setup:   setupLocalizeDefended,
 		},
 	}
 }
@@ -272,6 +279,32 @@ func setupHeuristicMatchBatch64(sc Scenario) (*instance, error) {
 
 func setupLocalize(sc Scenario) (*instance, error) {
 	tr, err := core.New(paperConfig())
+	if err != nil {
+		return nil, err
+	}
+	rng := randx.New(sc.Seed)
+	var n int
+	return &instance{op: func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			sink = tr.Localize(geom.Pt(40, 60), rng.SplitN("loc", n))
+			n++
+		}
+	}}, nil
+}
+
+// setupLocalizeDefended is setupLocalize with the Byzantine defense
+// armed — same fixture, same seed, so comparing medians against
+// core/localize reads off the defense's honest-path overhead (the
+// DESIGN.md §15 contract: under 15%). The scenario is honest (no fault
+// script), so the priced work is the steady-state bookkeeping every
+// defended round pays: the plausibility scan over the group, the
+// inversion-evidence pass over the matched signature, and trust decay —
+// never the suspect-path reweighting.
+func setupLocalizeDefended(sc Scenario) (*instance, error) {
+	cfg := paperConfig()
+	cfg.Defense = &byz.Config{Enabled: true}
+	tr, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"fttt/internal/byz"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/faults"
@@ -71,6 +72,25 @@ type SessionConfig struct {
 	// FaultSeed roots the fault scheduler's random choices; meaningful
 	// only with Faults set.
 	FaultSeed uint64 `json:"faultSeed,omitempty"`
+
+	// Defense, when non-nil, arms the Byzantine-sensing defense layer
+	// (internal/byz) on every target tracker of the session. Zero-valued
+	// knobs select the documented defaults.
+	Defense *DefenseWire `json:"defense,omitempty"`
+}
+
+// DefenseWire is the Byzantine defense configuration on the wire — the
+// byz.Config knobs (DESIGN.md §15). A present but all-zero object arms
+// the defense with defaults.
+type DefenseWire struct {
+	QuorumThreshold float64 `json:"quorumThreshold,omitempty"`
+	MinQuorum       float64 `json:"minQuorum,omitempty"`
+	SuspectAbove    float64 `json:"suspectAbove,omitempty"`
+	ClearBelow      float64 `json:"clearBelow,omitempty"`
+	LearnRate       float64 `json:"learnRate,omitempty"`
+	DecayRate       float64 `json:"decayRate,omitempty"`
+	MinRounds       int     `json:"minRounds,omitempty"`
+	TrustFloor      float64 `json:"trustFloor,omitempty"`
 }
 
 // CoreConfig resolves the wire config into a validated core.Config.
@@ -149,6 +169,19 @@ func (sc SessionConfig) CoreConfig() (core.Config, error) {
 		}
 		cfg.FaultScript = script
 		cfg.FaultSeed = sc.FaultSeed
+	}
+	if sc.Defense != nil {
+		cfg.Defense = &byz.Config{
+			Enabled:         true,
+			QuorumThreshold: sc.Defense.QuorumThreshold,
+			MinQuorum:       sc.Defense.MinQuorum,
+			SuspectAbove:    sc.Defense.SuspectAbove,
+			ClearBelow:      sc.Defense.ClearBelow,
+			LearnRate:       sc.Defense.LearnRate,
+			DecayRate:       sc.Defense.DecayRate,
+			MinRounds:       sc.Defense.MinRounds,
+			TrustFloor:      sc.Defense.TrustFloor,
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return core.Config{}, err
