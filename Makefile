@@ -18,10 +18,11 @@ race:
 	$(GO) test -race ./...
 
 # raceserve is the serving-layer race gate: the batcher/admission
-# concurrency machinery plus the end-to-end load test, all under the
+# concurrency machinery, the router/migration machinery, and the
+# end-to-end load tests (single-process and cluster), all under the
 # race detector (the CI job of the same name).
 raceserve:
-	$(GO) test -race -count 1 ./internal/serve/... ./internal/core/...
+	$(GO) test -race -count 1 ./internal/serve/... ./internal/core/... ./internal/cluster/...
 
 vet:
 	$(GO) vet ./...

@@ -10,6 +10,7 @@
 //	fttt-serve -addr :8080
 //	fttt-serve -addr 127.0.0.1:0 -max-batch 32 -batch-wait 1ms -queue 512
 //	fttt-serve -field-cache-dir /var/lib/fttt/fieldcache
+//	fttt-serve -field-cache-dir /mnt/shared/fieldcache -migrate-grace 15s   # cluster member behind fttt-router
 //
 // Sessions share preprocessed field divisions through a
 // content-addressed cache (internal/fieldcache); -field-cache-dir
@@ -43,18 +44,19 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "default per-request deadline (0 = default 5s)")
 		workers       = flag.Int("workers", 0, "batch worker pool size (0 = CPU count)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		migrateGrace  = flag.Duration("migrate-grace", 0, "after SIGTERM, hold quiesced sessions this long for a router to migrate them off before teardown (0 = tear down immediately)")
 		traceRecords  = flag.Int("trace-records", 0, "per-session flight-recorder capacity in trace records (0 = tracing off)")
 		fieldCacheDir = flag.String("field-cache-dir", "", "directory persisting preprocessed field divisions across restarts (empty = in-memory only)")
 		fieldCacheMax = flag.Int("field-cache-max", 0, "max resident cached divisions, LRU-evicted when unpinned (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout, *traceRecords, *fieldCacheDir, *fieldCacheMax); err != nil {
+	if err := run(*addr, *maxBatch, *batchWait, *queue, *timeout, *workers, *drainTimeout, *migrateGrace, *traceRecords, *fieldCacheDir, *fieldCacheMax); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout time.Duration, traceRecords int, fieldCacheDir string, fieldCacheMax int) error {
+func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout time.Duration, workers int, drainTimeout, migrateGrace time.Duration, traceRecords int, fieldCacheDir string, fieldCacheMax int) error {
 	reg := obs.NewRegistry()
 	build := obs.RegisterBuildInfo(reg)
 	fcache, err := fieldcache.New(fieldcache.Config{
@@ -92,7 +94,15 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 		fmt.Fprintf(os.Stderr, "fttt-serve: flight recorder on (last %d records per session at /v1/sessions/{id}/debug/trace)\n", traceRecords)
 	}
 	if fieldCacheDir != "" {
-		fmt.Fprintf(os.Stderr, "fttt-serve: field-division cache spilling to %s\n", fieldCacheDir)
+		// Log both cache knobs together: operators sizing a shared
+		// cluster spill dir need the eviction bound next to the path.
+		if fieldCacheMax > 0 {
+			fmt.Fprintf(os.Stderr, "fttt-serve: field-division cache spilling to %s (max %d resident divisions)\n", fieldCacheDir, fieldCacheMax)
+		} else {
+			fmt.Fprintf(os.Stderr, "fttt-serve: field-division cache spilling to %s (resident divisions unbounded)\n", fieldCacheDir)
+		}
+	} else if fieldCacheMax > 0 {
+		fmt.Fprintf(os.Stderr, "fttt-serve: field-division cache in-memory only (max %d resident divisions)\n", fieldCacheMax)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -105,9 +115,23 @@ func run(addr string, maxBatch int, batchWait time.Duration, queue int, timeout 
 	}
 
 	// Drain first — refuse new work, let admitted requests finish, tear
-	// sessions down — then close the listener.
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	// sessions down — then close the listener. With -migrate-grace the
+	// teardown is two-phase: quiesce (healthz turns 503, sessions stay
+	// exportable), wait up to the grace period for a router to migrate
+	// every session off (the table empties as it DELETEs them), then
+	// tear down whatever is left.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout+migrateGrace)
 	defer cancel()
+	if migrateGrace > 0 {
+		if err := srv.Quiesce(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "fttt-serve: quiesce:", err)
+		}
+		wctx, wcancel := context.WithTimeout(ctx, migrateGrace)
+		if err := srv.WaitEmpty(wctx); err != nil {
+			fmt.Fprintf(os.Stderr, "fttt-serve: migrate grace elapsed with %d sessions unmigrated\n", srv.SessionCount())
+		}
+		wcancel()
+	}
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "fttt-serve: drain:", err)
 	}

@@ -5,8 +5,12 @@ package fttt_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"fttt"
 )
@@ -68,5 +72,61 @@ func ExampleNewServer() {
 	fmt.Printf("rover seq %d: estimate (%.1f, %.1f)\n",
 		res.Seq, res.Estimate.Pos.X, res.Estimate.Pos.Y)
 	// Output:
+	// rover seq 0: estimate (40.5, 53.5)
+}
+
+// ExampleNewRouter shards the serving layer: two backends behind a
+// consistent-hash session router. The router assigns the session ID
+// (c1, c2, …) so its owner is fixed by the pinned placement before any
+// backend sees the create, and a localize through the router answers
+// byte-identically to a direct hit on the owner.
+func ExampleNewRouter() {
+	b1 := httptest.NewServer(fttt.NewServer(fttt.ServeConfig{}))
+	defer b1.Close()
+	b2 := httptest.NewServer(fttt.NewServer(fttt.ServeConfig{}))
+	defer b2.Close()
+
+	router, err := fttt.NewRouter(fttt.RouterConfig{Backends: []fttt.ClusterBackend{
+		{Name: "b1", URL: b1.URL},
+		{Name: "b2", URL: b2.URL},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer router.Close()
+	front := httptest.NewServer(router)
+	defer front.Close()
+	client := front.Client()
+
+	resp, err := client.Post(front.URL+"/v1/sessions", "application/json",
+		strings.NewReader(`{"seed":6,"gridNodes":16}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sw struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("session %s owned by %s\n", sw.ID, fttt.PlaceSession(sw.ID, []string{"b1", "b2"}))
+
+	resp, err = client.Post(front.URL+"/v1/sessions/"+sw.ID+"/localize", "application/json",
+		strings.NewReader(`{"target":"rover","x":37,"y":53}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("localize: status %d", resp.StatusCode)
+	}
+	var est fttt.EstimateWire
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("rover seq %d: estimate (%.1f, %.1f)\n", est.Seq, est.X, est.Y)
+	// Output:
+	// session c1 owned by b2
 	// rover seq 0: estimate (40.5, 53.5)
 }

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"fttt/internal/byz"
+	"fttt/internal/cluster"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/geom"
@@ -197,6 +198,30 @@ type (
 
 // NewServer builds a tracking-as-a-service server.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Cluster layer: shard the serving tier horizontally behind a
+// consistent-hash session router (internal/cluster, DESIGN.md §16).
+// The fttt-router command is the daemon form.
+type (
+	// Router is the consistent-hash session router: an http.Handler
+	// proxying the /v1/sessions API across fttt-serve backends and
+	// migrating sessions off draining members.
+	Router = cluster.Router
+	// RouterConfig parameterises a Router.
+	RouterConfig = cluster.Config
+	// ClusterBackend names one fttt-serve member of a Router's set.
+	ClusterBackend = cluster.Backend
+)
+
+// NewRouter builds a session router over the configured backends.
+func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.New(cfg) }
+
+// PlaceSession returns which backend owns sessionID under the router's
+// pinned rendezvous placement — every replica agrees with no shared
+// state.
+func PlaceSession(sessionID string, backends []string) string {
+	return cluster.Place(sessionID, backends)
+}
 
 // NewMulti preprocesses the shared division and returns a multi-target
 // tracker; targets are created lazily per ID.

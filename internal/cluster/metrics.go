@@ -1,0 +1,36 @@
+package cluster
+
+import "fttt/internal/obs"
+
+// metrics caches the router metric handles, resolved once at
+// construction so the proxy hot path only touches atomics.
+type metrics struct {
+	// per-backend, keyed by member name
+	requests map[string]*obs.Counter   // fttt_router_requests_total{backend=...}
+	latency  map[string]*obs.Histogram // fttt_router_proxy_seconds{backend=...}
+	sessions map[string]*obs.Gauge     // fttt_router_sessions{backend=...}
+
+	proxyErrors     *obs.Counter // fttt_router_proxy_errors_total
+	migrations      *obs.Counter // fttt_router_migrations_total
+	migrationErrors *obs.Counter // fttt_router_migration_errors_total
+	backends        *obs.Gauge   // fttt_router_backends (active, non-leaving)
+}
+
+func newMetrics(r *obs.Registry, names []string) *metrics {
+	m := &metrics{
+		requests:        make(map[string]*obs.Counter, len(names)),
+		latency:         make(map[string]*obs.Histogram, len(names)),
+		sessions:        make(map[string]*obs.Gauge, len(names)),
+		proxyErrors:     r.Counter("fttt_router_proxy_errors_total"),
+		migrations:      r.Counter("fttt_router_migrations_total"),
+		migrationErrors: r.Counter("fttt_router_migration_errors_total"),
+		backends:        r.Gauge("fttt_router_backends"),
+	}
+	for _, n := range names {
+		m.requests[n] = r.Counter(`fttt_router_requests_total{backend="` + n + `"}`)
+		m.latency[n] = r.Histogram(`fttt_router_proxy_seconds{backend="`+n+`"}`,
+			obs.ExpBuckets(1e-4, 2, 16))
+		m.sessions[n] = r.Gauge(`fttt_router_sessions{backend="` + n + `"}`)
+	}
+	return m
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"fttt/internal/geom"
+)
+
+// TargetSnapshot is the portable warm-start state of one tracked
+// target — everything a successor tracker over the *same* division
+// needs to continue a request sequence byte-identically where the
+// original left off (DESIGN.md §16): the warm-start face, the
+// two-point estimate history the degradation fallback extrapolates
+// from, and the fault scheduler's virtual clock. The scheduler itself
+// is a pure deterministic function of (script, seed, max seeked time),
+// so its whole state reconstructs from FaultNow alone.
+//
+// The snapshot deliberately does not carry Byzantine defense state
+// (per-node trust, pair evidence): a restored defended target re-learns
+// trust from scratch, which degrades detection latency, never
+// correctness. Migrating defended sessions byte-identically is a
+// documented follow-on.
+type TargetSnapshot struct {
+	// FaceID is the warm-start face (an index into Division.Faces);
+	// -1 when the target has no previous face (cold start).
+	FaceID int `json:"faceId"`
+	// HistN is how many of the history points below are valid (0..2).
+	HistN int `json:"histN,omitempty"`
+	// LastX/LastY and PrevX/PrevY are the newest and second-newest
+	// final position estimates (the extrapolation history).
+	LastX float64 `json:"lastX,omitempty"`
+	LastY float64 `json:"lastY,omitempty"`
+	PrevX float64 `json:"prevX,omitempty"`
+	PrevY float64 `json:"prevY,omitempty"`
+	// FaultNow is the fault scheduler's virtual time; 0 when the target
+	// has no scheduler (or has never advanced it).
+	FaultNow float64 `json:"faultNow,omitempty"`
+}
+
+// SnapshotTarget captures the warm-start state of an existing target.
+// It errors on unknown targets — callers migrating a session snapshot
+// only the targets MultiTracker.Targets reports. The snapshot is taken
+// under the target's lock, so it is consistent provided no localization
+// for the target is concurrently in flight.
+func (m *MultiTracker) SnapshotTarget(targetID string) (TargetSnapshot, error) {
+	m.mu.RLock()
+	ts, ok := m.targets[targetID]
+	m.mu.RUnlock()
+	if !ok {
+		return TargetSnapshot{}, fmt.Errorf("core: snapshot of unknown target %q", targetID)
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr := ts.tr
+	snap := TargetSnapshot{
+		FaceID: -1,
+		HistN:  tr.histN,
+		LastX:  tr.lastPos.X, LastY: tr.lastPos.Y,
+		PrevX: tr.prevPos.X, PrevY: tr.prevPos.Y,
+	}
+	if tr.prev != nil {
+		snap.FaceID = tr.prev.ID
+	}
+	if tr.faults != nil {
+		snap.FaultNow = tr.faults.Now()
+	}
+	return snap, nil
+}
+
+// RestoreTarget creates (or overwrites) a target in the snapshot's
+// state. The tracker must have been built from the same configuration
+// as the snapshot's source — in particular the same division, so the
+// face ID resolves to the same face. Restoring then continuing the
+// source's request sequence yields estimates byte-identical to never
+// having migrated (pinned by TestSnapshotRestoreByteIdentical).
+func (m *MultiTracker) RestoreTarget(targetID string, snap TargetSnapshot) error {
+	ts, err := m.target(targetID)
+	if err != nil {
+		return err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	tr := ts.tr
+	if snap.FaceID >= 0 {
+		if snap.FaceID >= len(tr.div.Faces) {
+			return fmt.Errorf("core: restore target %q: face %d out of range (division has %d faces)",
+				targetID, snap.FaceID, len(tr.div.Faces))
+		}
+		tr.prev = &tr.div.Faces[snap.FaceID]
+	} else {
+		tr.prev = nil
+	}
+	if snap.HistN < 0 || snap.HistN > 2 {
+		return fmt.Errorf("core: restore target %q: histN %d out of range [0,2]", targetID, snap.HistN)
+	}
+	tr.histN = snap.HistN
+	tr.lastPos = geom.Pt(snap.LastX, snap.LastY)
+	tr.prevPos = geom.Pt(snap.PrevX, snap.PrevY)
+	if tr.faults != nil && snap.FaultNow > 0 {
+		tr.faults.Seek(snap.FaultNow)
+	}
+	return nil
+}

@@ -1,14 +1,20 @@
 package perfbench
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"fttt/internal/byz"
+	"fttt/internal/cluster"
 	"fttt/internal/core"
 	"fttt/internal/deploy"
 	"fttt/internal/experiments"
@@ -118,6 +124,12 @@ func Suite() []Scenario {
 			Summary: "core/localize with the Byzantine defense armed (honest run: evidence bookkeeping, no reweighting)",
 			MapsTo:  "DESIGN.md §15 defense overhead contract (< 15% over core/localize)",
 			setup:   setupLocalizeDefended,
+		},
+		{
+			Name: "serve/cluster-roundtrip", Kind: KindMacro, Seed: 11,
+			Summary: "HTTP localize round-trip through the fttt-router proxy to a 2-backend cluster, serial client",
+			MapsTo:  "DESIGN.md §16 sharding (router hop + HTTP cost over serve/roundtrip's in-process path)",
+			setup:   setupClusterRoundtrip,
 		},
 	}
 }
@@ -490,6 +502,102 @@ func setupServe(sc Scenario, maxBatch int, concurrent bool) (*instance, error) {
 		lat:     lat,
 		cleanup: func() { srv.CloseSession(sess.ID()) },
 	}, nil
+}
+
+// setupClusterRoundtrip prices the sharded serving path end to end:
+// the alloc_test serving fixture behind real HTTP, fronted by a
+// 2-backend fttt-router, one serial client localizing through the
+// proxy. Against serve/roundtrip (same fixture, in-process, no HTTP)
+// the median reads off what the cluster hop costs: JSON framing, two
+// loopback TCP transits, and the router's rendezvous lookup + reverse
+// proxy. Regressions here with serve/roundtrip flat mean the router
+// path itself got slower.
+func setupClusterRoundtrip(sc Scenario) (*instance, error) {
+	var members []cluster.Backend
+	var cleanups []func()
+	cleanupAll := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		srv := serve.New(serve.Config{})
+		ts := httptest.NewServer(srv)
+		cleanups = append(cleanups, ts.Close)
+		members = append(members, cluster.Backend{Name: fmt.Sprintf("b%d", i), URL: ts.URL})
+	}
+	rt, err := cluster.New(cluster.Config{Backends: members})
+	if err != nil {
+		cleanupAll()
+		return nil, err
+	}
+	cleanups = append(cleanups, rt.Close)
+	rts := httptest.NewServer(rt)
+	cleanups = append(cleanups, rts.Close)
+	client := rts.Client()
+
+	scfg, err := json.Marshal(serve.SessionConfig{
+		Seed:      sc.Seed,
+		Field:     &serve.RectWire{Max: serve.PointWire{X: 60, Y: 60}},
+		GridNodes: 9,
+		CellSize:  3,
+	})
+	if err != nil {
+		cleanupAll()
+		return nil, err
+	}
+	resp, err := client.Post(rts.URL+"/v1/sessions", "application/json", bytes.NewReader(scfg))
+	if err != nil {
+		cleanupAll()
+		return nil, err
+	}
+	var sw struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sw)
+	resp.Body.Close()
+	if err != nil {
+		cleanupAll()
+		return nil, err
+	}
+
+	rng := randx.New(sc.Seed)
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		b, err := json.Marshal(serve.LocalizeWire{
+			Target: "bench",
+			X:      rng.Uniform(5, 55),
+			Y:      rng.Uniform(5, 55),
+		})
+		if err != nil {
+			cleanupAll()
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	url := rts.URL + "/v1/sessions/" + sw.ID + "/localize"
+	lat := newLatencyRecorder()
+	var n int
+	op := func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			start := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[n%len(bodies)]))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				tb.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				tb.Fatalf("localize through router: status %d", resp.StatusCode)
+			}
+			lat.observe(time.Since(start))
+			n++
+		}
+	}
+	return &instance{op: op, lat: lat, cleanup: cleanupAll}, nil
 }
 
 // setupColdSession measures what a new session costs on a busy server:

@@ -122,31 +122,51 @@ type Result struct {
 }
 
 // Run creates a session on the server behind baseURL and fires the
-// wave. Clients stop issuing on transport errors but record shed (429)
-// and deadline (504) responses and keep going — real load-generator
-// behaviour. The session is left open; callers own its lifecycle via
-// the returned ID.
+// full wave — CreateSession followed by RunWave over every request.
+// The session is left open; callers own its lifecycle via the returned
+// ID.
 func Run(client *http.Client, baseURL string, cfg Config) (string, *Result, error) {
-	body, err := json.Marshal(cfg.Session)
+	id, err := CreateSession(client, baseURL, cfg.Session)
 	if err != nil {
 		return "", nil, err
 	}
+	res, err := RunWave(client, baseURL, id, cfg, 0, cfg.Requests)
+	return id, res, err
+}
+
+// CreateSession creates one session on the server (or cluster router)
+// behind baseURL and returns its ID.
+func CreateSession(client *http.Client, baseURL string, sc serve.SessionConfig) (string, error) {
+	body, err := json.Marshal(sc)
+	if err != nil {
+		return "", err
+	}
 	resp, err := client.Post(baseURL+"/v1/sessions", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return "", nil, err
+		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		b, _ := io.ReadAll(resp.Body)
-		return "", nil, fmt.Errorf("loadtest: create session: status %d: %s", resp.StatusCode, b)
+		return "", fmt.Errorf("loadtest: create session: status %d: %s", resp.StatusCode, b)
 	}
 	var sw struct {
 		ID string `json:"id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&sw); err != nil {
-		return "", nil, err
+		return "", err
 	}
+	return sw.ID, nil
+}
 
+// RunWave fires requests [from, to) of each client's sequence at the
+// existing session id. Clients stop issuing on transport errors but
+// record shed (429) and deadline (504) responses and keep going — real
+// load-generator behaviour. Splitting one Config across several
+// RunWave calls (migrating the session between them) must yield the
+// same bodies as one uninterrupted wave; merge the partial results
+// with Result.Merge before VerifyBodies.
+func RunWave(client *http.Client, baseURL, id string, cfg Config, from, to int) (*Result, error) {
 	positions := cfg.Positions()
 	res := &Result{
 		Bodies:     make(map[string][][]byte, cfg.Clients),
@@ -160,14 +180,14 @@ func Run(client *http.Client, baseURL string, cfg Config) (string, *Result, erro
 		wg.Add(1)
 		go func(target string, pts []geom.Point) {
 			defer wg.Done()
-			for _, pos := range pts {
+			for _, pos := range pts[from:to] {
 				lw, err := json.Marshal(serve.LocalizeWire{Target: target, X: pos.X, Y: pos.Y})
 				if err != nil {
 					errCh <- err
 					return
 				}
 				req, err := http.NewRequestWithContext(context.Background(),
-					http.MethodPost, baseURL+"/v1/sessions/"+sw.ID+"/localize",
+					http.MethodPost, baseURL+"/v1/sessions/"+id+"/localize",
 					bytes.NewReader(lw))
 				if err != nil {
 					errCh <- err
@@ -211,9 +231,26 @@ func Run(client *http.Client, baseURL string, cfg Config) (string, *Result, erro
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
-		return sw.ID, res, err
+		return res, err
 	}
-	return sw.ID, res, nil
+	return res, nil
+}
+
+// Merge folds other's tallies into r, appending each target's bodies
+// after r's own — correct when r covers an earlier request range of
+// the same Config than other.
+func (r *Result) Merge(other *Result) {
+	r.OK += other.OK
+	r.Shed += other.Shed
+	r.Deadline += other.Deadline
+	r.Other += other.Other
+	r.RetryAfter = r.RetryAfter && other.RetryAfter
+	for target, seq := range other.Bodies {
+		r.Bodies[target] = append(r.Bodies[target], seq...)
+	}
+	for code, n := range other.Statuses {
+		r.Statuses[code] += n
+	}
 }
 
 // VerifyBodies compares a wave's 200 bodies against the serial

@@ -7,6 +7,7 @@ import "fttt/internal/obs"
 // fttt_serve_request_seconds{route=...}).
 var routes = []string{
 	"create", "list", "get", "close", "localize", "reports", "estimate", "stream", "trace",
+	"state", "restore",
 }
 
 // metrics caches the serving-layer metric handles, resolved once at
@@ -19,6 +20,7 @@ type metrics struct {
 	shed       *obs.Counter
 	timeouts   *obs.Counter
 	sseDropped *obs.Counter
+	restores   *obs.Counter
 	requests   map[string]*obs.Counter
 	latency    map[string]*obs.Histogram
 }
@@ -31,6 +33,7 @@ func newMetrics(r *obs.Registry) *metrics {
 		shed:       r.Counter("fttt_serve_shed_total"),
 		timeouts:   r.Counter("fttt_serve_timeouts_total"),
 		sseDropped: r.Counter("fttt_serve_sse_dropped_total"),
+		restores:   r.Counter("fttt_serve_session_restores_total"),
 		requests:   make(map[string]*obs.Counter, len(routes)),
 		latency:    make(map[string]*obs.Histogram, len(routes)),
 	}

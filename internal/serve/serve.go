@@ -155,6 +155,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/estimates/{target}", s.route("estimate", s.handleEstimate))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.route("stream", s.handleStream))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/debug/trace", s.route("trace", s.handleTrace))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/state", s.route("state", s.handleStateExport))
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/state", s.route("restore", s.handleStateRestore))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /metrics", obs.Handler(reg))
 	return s
@@ -181,10 +183,28 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 
 // CreateSession builds a session from a wire config — the Go-level
 // entry the POST /v1/sessions handler (and in-process harnesses: the
-// load generator, BenchmarkServeLocalize) use.
+// load generator, BenchmarkServeLocalize) use. The server assigns the
+// ID; a cluster router that needs to pick IDs itself (to place them on
+// the hash ring before creation) passes one via the X-Fttt-Session-Id
+// header, which routes through createSession directly.
 func (s *Server) CreateSession(sc SessionConfig) (*Session, error) {
+	return s.createSession(fmt.Sprintf("s%d", s.nextID.Add(1)), sc)
+}
+
+// createSession is CreateSession with a caller-chosen ID (the restore
+// and router-assigned-ID paths). ErrSessionExists when the ID is taken.
+func (s *Server) createSession(id string, sc SessionConfig) (*Session, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
+	}
+	if id == "" {
+		return nil, errors.New("serve: empty session ID")
+	}
+	s.mu.Lock()
+	_, taken := s.sessions[id]
+	s.mu.Unlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
 	}
 	cfg, err := sc.CoreConfig()
 	if err != nil {
@@ -220,9 +240,13 @@ func (s *Server) CreateSession(sc SessionConfig) (*Session, error) {
 		}
 		return nil, err
 	}
-	id := fmt.Sprintf("s%d", s.nextID.Add(1))
-	sess := newSession(id, s, cfg, mt, sc.Seed, rec, release)
+	sess := newSession(id, s, sc, cfg, mt, sc.Seed, rec, release)
 	s.mu.Lock()
+	if _, taken := s.sessions[id]; taken { // lost a create race for the ID
+		s.mu.Unlock()
+		sess.close()
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.met.sessions.Add(1)
@@ -256,20 +280,11 @@ func (s *Server) CloseSession(id string) bool {
 // Drain blocks until every admitted request has been answered (or ctx
 // expires), and finally every session is torn down — batchers stop and
 // SSE streams end, so an enclosing http.Server.Shutdown is not held
-// open. Returns ctx.Err() if the deadline cut the wait short.
+// open. Returns ctx.Err() if the deadline cut the wait short. In a
+// cluster, call Quiesce first and let the router migrate sessions off
+// (fttt-serve -migrate-grace) before this final teardown.
 func (s *Server) Drain(ctx context.Context) error {
-	s.draining.Store(true)
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		err = ctx.Err()
-	}
+	err := s.Quiesce(ctx)
 	s.mu.Lock()
 	all := make([]*Session, 0, len(s.sessions))
 	for id, sess := range s.sessions {
@@ -302,7 +317,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad session config: %w", err))
 		return
 	}
-	sess, err := s.CreateSession(sc)
+	var sess *Session
+	var err error
+	if id := r.Header.Get("X-Fttt-Session-Id"); id != "" {
+		// A cluster router picks IDs itself so it can place the session
+		// on its hash ring before the backend ever sees it.
+		sess, err = s.createSession(id, sc)
+	} else {
+		sess, err = s.CreateSession(sc)
+	}
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
@@ -511,6 +534,8 @@ func statusFor(err error, fallback int) int {
 	case errors.Is(err, ErrDeadline):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrSessionClosed):
+		return http.StatusConflict
+	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrSessionBusy):
 		return http.StatusConflict
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable

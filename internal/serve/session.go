@@ -59,8 +59,12 @@ type Result struct {
 // admission queue and a micro-batching loop, plus the SSE fan-out hub
 // and the latest-estimate table.
 type Session struct {
-	id   string
-	srv  *Server
+	id  string
+	srv *Server
+	// wire is the original wire config the session was created from,
+	// kept verbatim for state export (migration re-creates the session
+	// from it on a successor backend).
+	wire SessionConfig
 	cfg  core.Config
 	mt   *core.MultiTracker
 	root *randx.Stream // immutable seed root; Split is concurrency-safe
@@ -92,10 +96,11 @@ type subscriber struct {
 	target string // "" = all targets
 }
 
-func newSession(id string, srv *Server, cfg core.Config, mt *core.MultiTracker, seed uint64, rec *obs.Recorder, releaseDiv func()) *Session {
+func newSession(id string, srv *Server, wire SessionConfig, cfg core.Config, mt *core.MultiTracker, seed uint64, rec *obs.Recorder, releaseDiv func()) *Session {
 	s := &Session{
 		id:         id,
 		srv:        srv,
+		wire:       wire,
 		cfg:        cfg,
 		mt:         mt,
 		root:       randx.New(seed),

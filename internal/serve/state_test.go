@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fttt/internal/fieldcache"
+	"fttt/internal/obs"
+)
+
+// faultedStateConfig is the migration fixture: an inline fault script
+// plus the degradation policy, so the exported state (fault clock,
+// extrapolation history, warm face) all matter to later estimates.
+func faultedStateConfig(seed uint64) SessionConfig {
+	sc := testConfig(seed)
+	sc.Faults = "crash at=0 frac=0.5 recover=4; drift sigma=0.05"
+	sc.FaultSeed = 9
+	sc.StarFractionLimit = 0.4
+	sc.RetryBackoff = 0.5
+	return sc
+}
+
+// stateServer builds a server whose field cache spills to dir — two of
+// them sharing one dir model two cluster backends over the shared
+// division store.
+func stateServer(t *testing.T, dir string) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	fc, err := fieldcache.New(fieldcache.Config{Dir: dir, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Obs: reg, FieldCache: fc})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, reg
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	return reg.Counter(name).Value()
+}
+
+// localizeBody fires one localize over HTTP and returns the trimmed
+// 200 body.
+func localizeBody(t *testing.T, client *http.Client, baseURL, id, target string, x, y float64) []byte {
+	t.Helper()
+	resp := postJSON(t, client, baseURL+"/v1/sessions/"+id+"/localize",
+		LocalizeWire{Target: target, X: x, Y: y})
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("localize: status %d: %s", resp.StatusCode, b)
+	}
+	return bytes.TrimSpace(b)
+}
+
+// TestStateMigrationByteIdentical is the end-to-end migration
+// determinism contract over real HTTP: a faulted session runs half its
+// requests on backend A, exports through GET state, restores on
+// backend B (PUT state, shared spill dir), and the continued sequence
+// is byte-identical to an uninterrupted single-server run — with zero
+// division builds on the successor.
+func TestStateMigrationByteIdentical(t *testing.T) {
+	sc := faultedStateConfig(21)
+	targets := []string{"alpha", "bravo"}
+	pos := func(target string, n int) (x, y float64) {
+		f := float64(n)
+		if target == "alpha" {
+			return 15 + 3*f, 20 + 2*f
+		}
+		return 50 - 3*f, 45 - 2*f
+	}
+	const total, split = 8, 4
+
+	// Uninterrupted reference on its own server (private cache).
+	refSrv := New(Config{})
+	refTS := httptest.NewServer(refSrv)
+	defer refTS.Close()
+	resp := postJSON(t, refTS.Client(), refTS.URL+"/v1/sessions", sc)
+	refID := decodeBody[sessionWire](t, resp).ID
+	want := make(map[string][][]byte)
+	for n := 0; n < total; n++ {
+		for _, tg := range targets {
+			x, y := pos(tg, n)
+			want[tg] = append(want[tg], localizeBody(t, refTS.Client(), refTS.URL, refID, tg, x, y))
+		}
+	}
+
+	dir := t.TempDir()
+	srvA, tsA, _ := stateServer(t, dir)
+	srvB, tsB, regB := stateServer(t, dir)
+
+	resp = postJSON(t, tsA.Client(), tsA.URL+"/v1/sessions", sc)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create on A: status %d", resp.StatusCode)
+	}
+	id := decodeBody[sessionWire](t, resp).ID
+	for n := 0; n < split; n++ {
+		for _, tg := range targets {
+			x, y := pos(tg, n)
+			got := localizeBody(t, tsA.Client(), tsA.URL, id, tg, x, y)
+			if !bytes.Equal(got, want[tg][n]) {
+				t.Fatalf("pre-migration %s[%d]:\n got %s\nwant %s", tg, n, got, want[tg][n])
+			}
+		}
+	}
+
+	// Drain A (first phase only: sessions stay alive for export).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvA.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tsA.Client().Get(tsA.URL + "/v1/sessions/" + id + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("state export: status %d", resp.StatusCode)
+	}
+	stateBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SessionState
+	if err := json.Unmarshal(stateBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != id || st.SpecKey == "" || len(st.Targets) != len(targets) {
+		t.Fatalf("exported state: %+v", st)
+	}
+	for _, ts := range st.Targets {
+		if ts.Seq != split || ts.Latest == nil || ts.Snapshot.FaceID < 0 {
+			t.Fatalf("target state %s: %+v", ts.ID, ts)
+		}
+	}
+
+	// Restore on B.
+	req, err := http.NewRequest(http.MethodPut, tsB.URL+"/v1/sessions/"+id+"/state", bytes.NewReader(stateBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = tsB.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("state restore: status %d: %s", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+	// The successor warm-started from the shared spill dir: the division
+	// was loaded, never rebuilt.
+	if builds := counterValue(t, regB, "fttt_fieldcache_builds_total"); builds != 0 {
+		t.Fatalf("successor fttt_fieldcache_builds_total = %v, want 0", builds)
+	}
+	if loads := counterValue(t, regB, "fttt_fieldcache_disk_loads_total"); loads != 1 {
+		t.Fatalf("successor fttt_fieldcache_disk_loads_total = %v, want 1", loads)
+	}
+	if restores := counterValue(t, regB, "fttt_serve_session_restores_total"); restores != 1 {
+		t.Fatalf("fttt_serve_session_restores_total = %v, want 1", restores)
+	}
+
+	// The latest estimates survived the migration.
+	for _, tg := range targets {
+		resp, err := tsB.Client().Get(tsB.URL + "/v1/sessions/" + id + "/estimates/" + tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ew := decodeBody[EstimateWire](t, resp)
+		if ew.Seq != split-1 {
+			t.Fatalf("%s latest seq = %d, want %d", tg, ew.Seq, split-1)
+		}
+	}
+
+	// Continue on B: byte-identical to the uninterrupted reference.
+	for n := split; n < total; n++ {
+		for _, tg := range targets {
+			x, y := pos(tg, n)
+			got := localizeBody(t, tsB.Client(), tsB.URL, id, tg, x, y)
+			if !bytes.Equal(got, want[tg][n]) {
+				t.Fatalf("post-migration %s[%d]:\n got %s\nwant %s", tg, n, got, want[tg][n])
+			}
+		}
+	}
+	srvB.CloseSession(id)
+}
+
+func TestCreateWithRequestedID(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	mk := func(id string) *http.Response {
+		b, err := json.Marshal(testConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Fttt-Session-Id", id)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := mk("c42")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create with ID: status %d", resp.StatusCode)
+	}
+	if sw := decodeBody[sessionWire](t, resp); sw.ID != "c42" {
+		t.Fatalf("created ID %q, want c42", sw.ID)
+	}
+	// A duplicate ID is a conflict, not a silent overwrite.
+	resp = mk("c42")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ID: status %d, want 409", resp.StatusCode)
+	}
+	srv.CloseSession("c42")
+}
+
+// TestStateExportBusy pins that an export with requests in flight is
+// refused: a consistent snapshot needs a quiesced session.
+func TestStateExportBusy(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv := New(Config{Hooks: Hooks{BeforeBatch: func(int) {
+		entered <- struct{}{}
+		<-release
+	}}})
+	sess, err := srv.CreateSession(testConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.CloseSession(sess.ID())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := sess.Localize(context.Background(), "t", sess.cfg.Field.Center())
+		errCh <- err
+	}()
+	<-entered // the request is mid-batch
+	if _, err := sess.Export(); err != ErrSessionBusy {
+		t.Fatalf("Export with in-flight request: err = %v, want ErrSessionBusy", err)
+	}
+	close(release)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Export(); err != nil {
+		t.Fatalf("Export after quiesce: %v", err)
+	}
+}
+
+func TestStateRestoreRejections(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sess, err := srv.CreateSession(testConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.CloseSession(sess.ID())
+	st, err := sess.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	put := func(path string, body []byte) *http.Response {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	marshal := func(st SessionState) []byte {
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	// Path/body ID mismatch.
+	resp := put("/v1/sessions/other/state", marshal(st))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ID mismatch: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Spec-key mismatch: the restoring server derives different
+	// preprocessing than the state claims.
+	bad := st
+	bad.ID = "m1"
+	bad.SpecKey = strings.Repeat("0", 64)
+	resp = put("/v1/sessions/m1/state", marshal(bad))
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(b), "spec key") {
+		t.Fatalf("spec-key mismatch: status %d body %s", resp.StatusCode, b)
+	}
+
+	// Colliding ID: the exporting session still lives here.
+	good := st
+	resp = put("/v1/sessions/"+st.ID+"/state", marshal(good))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("restore onto live ID: status %d, want 409", resp.StatusCode)
+	}
+
+	// Draining server refuses restores.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fresh := st
+	fresh.ID = "m2"
+	resp = put("/v1/sessions/m2/state", marshal(fresh))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("restore while draining: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestQuiesceKeepsSessionsAlive pins the two-phase drain contract:
+// after Quiesce the session still answers reads (state export, latest
+// estimates) while new work is refused — the window the router
+// migrates in.
+func TestQuiesceKeepsSessionsAlive(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	sess, err := srv.CreateSession(testConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Localize(context.Background(), "t", sess.cfg.Field.Center()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if srv.SessionCount() != 1 {
+		t.Fatalf("SessionCount after Quiesce = %d, want 1", srv.SessionCount())
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/sessions/" + sess.ID() + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("state export while quiesced: status %d", resp.StatusCode)
+	}
+	if _, err := sess.Localize(context.Background(), "t", sess.cfg.Field.Center()); err != ErrDraining {
+		t.Fatalf("localize while quiesced: err = %v, want ErrDraining", err)
+	}
+	// WaitEmpty unblocks once the router has migrated everything off.
+	done := make(chan error, 1)
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer wcancel()
+	go func() { done <- srv.WaitEmpty(wctx) }()
+	srv.CloseSession(sess.ID())
+	if err := <-done; err != nil {
+		t.Fatalf("WaitEmpty: %v", err)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
